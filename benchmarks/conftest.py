@@ -1,0 +1,54 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark regenerates one paper table/figure: it runs the experiment
+under the ``benchmark`` fixture (so ``--benchmark-only`` executes it),
+asserts the paper's *shape* claims, saves the rendered table under
+``benchmarks/results/``, and queues it for the terminal summary so the
+regenerated tables appear in the pytest output itself.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_RENDERED: list = []
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RENDERED:
+        return
+    terminalreporter.section("regenerated paper tables/figures")
+    for text in _RENDERED:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")
+
+
+@pytest.fixture()
+def record():
+    """Save an ExperimentResult's rendering to disk and the summary."""
+
+    def _record(result) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        (RESULTS_DIR / f"{result.exp_id}.txt").write_text(text + "\n")
+        _RENDERED.append(text)
+
+    return _record
+
+
+@pytest.fixture()
+def run_experiment(benchmark, record):
+    """Run ``module.run(**kwargs)`` once under the benchmark fixture,
+    record its rendering, and return the result for shape assertions."""
+
+    def _run(run_fn, **kwargs):
+        result = benchmark.pedantic(
+            lambda: run_fn(**kwargs), rounds=1, iterations=1
+        )
+        record(result)
+        return result
+
+    return _run

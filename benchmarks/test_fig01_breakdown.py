@@ -1,0 +1,18 @@
+"""Regenerates Figure 1: per-framework training-time breakdown."""
+
+from repro.experiments import fig01_breakdown
+
+
+def test_fig01_breakdown(run_experiment):
+    result = run_experiment(fig01_breakdown.run)
+    rows = {(r[0], r[1]): r for r in result.rows}
+
+    # PyG is sample-dominated on the citation-scale graphs (paper: to 97%).
+    assert rows[("MAG", "pyg")][2] > 0.5
+    assert rows[("PA", "pyg")][2] > 0.5
+    # DGL is memory-IO dominated on every large graph (paper: up to 77%).
+    for dataset in ("PR", "MAG", "IGB", "PA"):
+        assert rows[(dataset, "dgl")][3] > 0.45, dataset
+    # PyG's epoch is far slower than DGL's everywhere.
+    for dataset in ("RD", "PR", "MAG", "IGB", "PA"):
+        assert rows[(dataset, "pyg")][5] > 1.4 * rows[(dataset, "dgl")][5]

@@ -1,0 +1,24 @@
+"""Regenerates Figure 3: Naive -> +MR -> +MR+MA -> FastGL breakdown."""
+
+from repro.experiments import fig03_stepwise
+
+
+def test_fig03_stepwise(run_experiment):
+    result = run_experiment(fig03_stepwise.run)
+    for model in ("gcn", "gin"):
+        rows = {r[1]: r for r in result.rows if r[0] == model}
+        naive, mr = rows["Naive"], rows["Naive+MR"]
+        mr_ma, fastgl = rows["Naive+MR+MA"], rows["FastGL"]
+
+        # Memory IO dominates the naive baseline...
+        assert naive[3] > naive[2] and naive[3] > naive[4]
+        # ...and MR removes most of it.
+        assert mr[3] < 0.25 * naive[3]
+        # MA then cuts compute.
+        assert mr_ma[4] < 0.95 * mr[4]
+        # After MR+MA the sample phase is the (co-)dominant bottleneck...
+        assert mr_ma[6] > 0.4
+        # ...which Fused-Map reduces.
+        assert fastgl[2] < 0.85 * mr_ma[2]
+        # Each stack strictly improves the total.
+        assert naive[5] > mr[5] > mr_ma[5] > fastgl[5]

@@ -1,0 +1,19 @@
+"""Regenerates Figure 9: overall training speed, 3 models x 5 datasets."""
+
+from repro.experiments import fig09_overall
+
+
+def test_fig09_overall(run_experiment):
+    result = run_experiment(fig09_overall.run)
+    speed_cols = {name: 6 + i for i, name in
+                  enumerate(("dgl", "gnnadvisor", "gnnlab"))}
+    for row in result.rows:
+        model, dataset = row[0], row[1]
+        # FastGL is the fastest framework on every (model, dataset) pair.
+        for name, col in speed_cols.items():
+            assert row[col] > 1.0, (model, dataset, name)
+        # Speedups over DGL fall in (a relaxed version of) the paper band.
+        assert 1.2 < row[speed_cols["dgl"]] < 8.0, (model, dataset)
+        # GNNAdvisor never beats DGL (per-iteration preprocessing).
+        assert row[speed_cols["gnnadvisor"]] >= row[speed_cols["dgl"]], (
+            model, dataset)

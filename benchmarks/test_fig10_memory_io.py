@@ -1,0 +1,31 @@
+"""Regenerates Figure 10: memory-IO cache-ratio sweep + Reorder ablation."""
+
+from repro.experiments import fig10_memory_io
+
+
+def test_fig10a_cache_ratio_sweep(run_experiment):
+    result = run_experiment(fig10_memory_io.run_sweep)
+    gnnlab = dict(zip(result.series[0][1], result.series[0][2]))
+    fastgl = dict(zip(result.series[1][1], result.series[1][2]))
+
+    # FastGL's memory IO beats GNNLab's at every cache ratio...
+    for ratio in gnnlab:
+        assert fastgl[ratio] <= gnnlab[ratio], ratio
+    # ...with the biggest advantage in the cache-starved regime.
+    assert gnnlab[0.0] / fastgl[0.0] > 2.0
+    # More cache monotonically helps GNNLab.
+    ordered = [gnnlab[r] for r in sorted(gnnlab)]
+    assert all(a >= b * 0.999 for a, b in zip(ordered, ordered[1:]))
+
+
+def test_fig10b_reorder(run_experiment):
+    result = run_experiment(fig10_memory_io.run_reorder)
+    for row in result.rows:
+        dataset, dgl_io, wo_io, w_io, gain = row[0], row[1], row[2], row[3], row[4]
+        # Match alone clearly beats DGL's naive loading.
+        assert wo_io < 0.7 * dgl_io, dataset
+        # Reorder never hurts (allowing sub-percent noise) and helps where
+        # batches are heterogeneous.
+        assert gain > 0.99, dataset
+    gains = [row[4] for row in result.rows]
+    assert max(gains) > 1.02  # a visible reorder win on at least one graph

@@ -1,0 +1,20 @@
+"""Regenerates Figure 11: computation-phase comparison."""
+
+from repro.experiments import fig11_compute
+
+
+def test_fig11_compute(run_experiment):
+    result = run_experiment(fig11_compute.run)
+    for row in result.rows:
+        dataset = row[0]
+        pyg_t, dgl_t, advisor_t, fastgl_t = row[1], row[2], row[3], row[4]
+        preprocess_frac = row[6]
+
+        # Memory-Aware beats the naive kernels (paper: 1.1-6.7x).
+        assert fastgl_t < dgl_t, dataset
+        assert 1.05 < dgl_t / fastgl_t < 7.0, dataset
+        # GNNAdvisor's per-iteration preprocessing makes it a net loss.
+        assert advisor_t > dgl_t, dataset
+        assert preprocess_frac > 0.3, dataset
+    # Preprocessing reaches the paper's "up to 75%" regime somewhere.
+    assert max(row[6] for row in result.rows) > 0.6

@@ -1,0 +1,16 @@
+"""Regenerates Figure 12: roofline analysis of the aggregation phase."""
+
+from repro.experiments import fig12_roofline
+
+
+def test_fig12_roofline(run_experiment):
+    result = run_experiment(fig12_roofline.run)
+    rows = {row[0]: row for row in result.rows}
+
+    # Every kernel is memory-bound and sits under (or at) its roof.
+    for name, row in rows.items():
+        assert row[4] <= 1.05, name          # achieved <= roof (5% slack)
+        assert row[1] < 5.0, name            # OI far left of the ridge
+    # FastGL achieves the highest performance (paper: up to 4.2x DGL).
+    assert rows["fastgl"][2] > rows["gnnadvisor"][2] > rows["dgl"][2]
+    assert rows["fastgl"][2] / rows["dgl"][2] > 1.5

@@ -1,0 +1,45 @@
+"""Regenerates Figure 14: scalability sweeps (GPUs, batch, dim, fanouts)."""
+
+import math
+
+from repro.experiments import fig14_scalability
+
+
+def test_fig14a_gpus(run_experiment):
+    result = run_experiment(fig14_scalability.run_gpus)
+    rows = {row[0]: row for row in result.rows}
+    # FastGL is fastest at every GPU count.
+    for gpus, row in rows.items():
+        assert row[4] > 1.0, gpus  # x_dgl
+    # FastGL scales better than DGL at 8 GPUs (paper: 5.93x vs 3.36x).
+    assert rows[8][6] > rows[8][5]
+    # Both gain from more GPUs.
+    assert rows[8][5] > rows[2][5] and rows[8][6] > rows[2][6]
+
+
+def test_fig14b_batch_size(run_experiment):
+    result = run_experiment(fig14_scalability.run_batch_size)
+    x_gnnlab = [row[5] for row in result.rows]
+    # FastGL wins everywhere and its edge over GNNLab grows with batch size.
+    assert all(x > 1.0 for x in x_gnnlab)
+    assert x_gnnlab[-1] > x_gnnlab[0]
+    assert all(row[4] > 1.0 for row in result.rows)  # x_dgl
+
+
+def test_fig14c_feature_dim(run_experiment):
+    result = run_experiment(fig14_scalability.run_feature_dim)
+    for row in result.rows:
+        assert row[3] > 1.0, row  # overall win at every dimension
+        assert row[4] > 1.0, row  # compute win at every dimension
+    # Wider features mean more IO to save: the advantage grows.
+    assert result.rows[-1][3] > result.rows[0][3]
+
+
+def test_fig14d_fanouts(run_experiment):
+    result = run_experiment(fig14_scalability.run_fanouts)
+    for row in result.rows:
+        assert row[4] > 1.0, row  # x_dgl at every fanout config
+        assert not math.isnan(row[3])
+    # Deeper sampling -> more sample-phase time for everyone.
+    fastgl_sample = [row[5] for row in result.rows]
+    assert fastgl_sample == sorted(fastgl_sample)

@@ -1,0 +1,21 @@
+"""Regenerates Figure 15: cumulative-technique ablation."""
+
+from repro.experiments import fig15_ablation
+
+
+def test_fig15_ablation(run_experiment):
+    result = run_experiment(fig15_ablation.run)
+    stacks = {row[0]: row[1] for row in result.rows}
+
+    # Cumulative stacks strictly improve the average speedup.
+    assert (stacks["DGL"] < stacks["+MR"] < stacks["+MR+MA"]
+            < stacks["+MR+MA+FM"])
+    # MR's increment dominates (memory IO was the biggest bottleneck);
+    # FM's is the smallest (sampling is the smallest phase).
+    gain_mr = stacks["+MR"] / stacks["DGL"]
+    gain_ma = stacks["+MR+MA"] / stacks["+MR"]
+    gain_fm = stacks["+MR+MA+FM"] / stacks["+MR+MA"]
+    assert gain_mr > gain_ma > 1.0
+    assert gain_fm > 1.0
+    # Full FastGL lands in the paper's average-speedup neighborhood (2.2x).
+    assert 1.5 < stacks["+MR+MA+FM"] < 3.5

@@ -1,0 +1,17 @@
+"""Regenerates Figure 16: training-loss convergence, FastGL vs DGL."""
+
+from repro.experiments import fig16_convergence
+
+
+def test_fig16_convergence(run_experiment):
+    result = run_experiment(fig16_convergence.run)
+    rows = {(row[0], row[1]): row for row in result.rows}
+    for model in ("gcn", "gin"):
+        dgl = rows[(model, "dgl")]
+        fastgl = rows[(model, "fastgl")]
+        # Both train: final loss far below the initial loss.
+        assert dgl[3] < 0.5 * dgl[2], model
+        assert fastgl[3] < 0.5 * fastgl[2], model
+        # FastGL converges to (approximately) the same loss as DGL.
+        ratio = fastgl[4] / dgl[4]
+        assert 0.6 < ratio < 1.7, (model, ratio)

@@ -1,0 +1,95 @@
+"""Wall-clock microbenchmarks of the substrate's hot kernels.
+
+Unlike the experiment benches (which report *modeled* GPU seconds), these
+measure the real Python/numpy implementations — useful for keeping the
+simulator itself fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.match import match_split
+from repro.core.reorder import greedy_reorder, match_degree_matrix
+from repro.graph import get_dataset
+from repro.nn import Tensor, a3_aggregate
+from repro.sampling import FusedIdMap, NeighborSampler
+
+
+@pytest.fixture(scope="module")
+def products():
+    return get_dataset("products")
+
+
+@pytest.fixture(scope="module")
+def subgraph(products):
+    sampler = NeighborSampler(products.graph, (5, 10, 15), rng=0)
+    return sampler.sample(products.train_ids[:256])
+
+
+def test_bench_neighbor_sampler(benchmark, products):
+    sampler = NeighborSampler(products.graph, (5, 10, 15), rng=0)
+    seeds = products.train_ids[:256]
+    benchmark(sampler.sample, seeds)
+
+
+def test_bench_fused_idmap(benchmark):
+    rng = np.random.default_rng(0)
+    ids = rng.integers(0, 500_000, size=200_000)
+    idmap = FusedIdMap()
+    benchmark(idmap.map, ids)
+
+
+def test_bench_match_split(benchmark):
+    rng = np.random.default_rng(1)
+    resident = np.unique(rng.integers(0, 300_000, size=80_000))
+    wanted = np.unique(rng.integers(0, 300_000, size=80_000))
+    benchmark(match_split, resident, wanted)
+
+
+def test_bench_greedy_reorder(benchmark, products):
+    sampler = NeighborSampler(products.graph, (5, 10, 15), rng=2)
+    sets = [
+        sampler.sample(products.train_ids[i * 256:(i + 1) * 256]).input_nodes
+        for i in range(8)
+    ]
+    matrix = match_degree_matrix(sets)
+    benchmark(greedy_reorder, matrix)
+
+
+def test_bench_a3_forward(benchmark, subgraph):
+    block = subgraph.layers[-1]
+    x = Tensor(np.random.default_rng(3).random((block.num_src, 64),
+                                                dtype=np.float32))
+    weight = Tensor(np.ones(block.num_edges, dtype=np.float32))
+    benchmark(a3_aggregate, x, block.edge_src, block.edge_dst, weight,
+              block.num_dst)
+
+
+def test_bench_cache_sim(benchmark):
+    from repro.gpu.memory import CacheSim
+
+    rng = np.random.default_rng(5)
+    addresses = rng.integers(0, 50_000_000, size=50_000) * 4
+
+    def run():
+        cache = CacheSim(128 * 1024)
+        cache.access(addresses)
+        return cache.stats.hit_rate
+
+    benchmark(run)
+
+
+def test_bench_a3_backward(benchmark, subgraph):
+    block = subgraph.layers[-1]
+    rng = np.random.default_rng(4)
+
+    def run():
+        x = Tensor(rng.random((block.num_src, 64), dtype=np.float32),
+                   requires_grad=True)
+        weight = Tensor(np.ones(block.num_edges, dtype=np.float32),
+                        requires_grad=True)
+        out = a3_aggregate(x, block.edge_src, block.edge_dst, weight,
+                           block.num_dst)
+        out.sum().backward()
+
+    benchmark(run)

@@ -1,0 +1,15 @@
+"""Regenerates Table 1: remaining GPU memory at paper scale."""
+
+from repro.experiments import tab01_left_memory
+
+
+def test_tab01_left_memory(run_experiment):
+    result = run_experiment(tab01_left_memory.run)
+    left = {row[0]: row[2] for row in result.rows}
+
+    # Paper shape: the small graphs leave plenty of device memory; the
+    # 100M-node graphs leave little or none.
+    assert left["RD"] > left["MAG"] > left["PA"]
+    assert left["PR"] > left["MAG"]
+    assert left["PA"] < 1.0 and left["IGB"] < 1.0  # < 1 GB remaining
+    assert left["RD"] > 8.0 and left["PR"] > 4.0   # ample headroom

@@ -1,0 +1,17 @@
+"""Regenerates Table 2: cache hit rates + achieved GFLOP/s (naive)."""
+
+from repro.experiments import tab02_cache_hits
+from repro.gpu.spec import RTX3090
+
+
+def test_tab02_cache_hits(run_experiment):
+    result = run_experiment(tab02_cache_hits.run)
+    peak_gflops = RTX3090.peak_flops / 1e9
+    for row in result.rows:
+        _, l1, l2, gflops = row[0], row[1], row[2], row[3]
+        # Paper shape: terrible L1 (3-5%), modest L2 (15-25%).
+        assert l1 < 0.10, row
+        assert l2 < 0.60, row
+        # Achieved performance is 1-2 orders below the 29.2 TFLOP/s peak.
+        assert gflops < 0.05 * peak_gflops, row
+        assert gflops > 50, row

@@ -1,0 +1,13 @@
+"""Regenerates Table 3: RTX 3090 memory-level statistics."""
+
+from repro.experiments import tab03_gpu_spec
+
+
+def test_tab03_gpu_spec(run_experiment):
+    result = run_experiment(tab03_gpu_spec.run)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["L1 Cache"][1] == "12TB/s"
+    assert rows["Shared Memory"][1] == "12TB/s"
+    assert rows["L2 Cache"][2] == "6MB"
+    assert rows["Global Memory"][1] == "938GB/s"
+    assert rows["Global Memory"][2] == "24GB"

@@ -1,0 +1,19 @@
+"""Regenerates Table 4: match degrees between sampled mini-batches."""
+
+from repro.experiments import tab04_match_degree
+
+
+def test_tab04_match_degree(run_experiment):
+    result = run_experiment(tab04_match_degree.run)
+    avg = {row[0]: row[1] for row in result.rows}
+    spread = {row[0]: row[2] for row in result.rows}
+
+    # Paper shape: Reddit >> Products > MAG/Papers100M.
+    assert avg["RD"] > avg["PR"] > avg["MAG"]
+    assert avg["RD"] > avg["PA"]
+    assert avg["RD"] > 0.85          # Reddit overlap is extreme (93%+)
+    assert avg["PA"] < 0.75          # large graphs overlap far less
+    # Every pair overlaps substantially (the Match opportunity exists).
+    assert all(v > 0.2 for v in avg.values())
+    # The spread is non-zero — the Reorder headroom.
+    assert all(v > 0 for v in spread.values())

@@ -1,0 +1,16 @@
+"""Regenerates Table 9: GPU memory usage, DGL vs FastGL."""
+
+from repro.experiments import tab09_memory
+
+
+def test_tab09_memory(run_experiment):
+    result = run_experiment(tab09_memory.run)
+    for row in result.rows:
+        dataset, ratio = row[0], row[3]
+        # Usage is comparable; FastGL never uses more (paper shape).
+        assert 0.5 < ratio <= 1.02, dataset
+        # Paper-scale model agrees: FastGL's footprint <= DGL's.
+        assert row[5] <= row[4] * 1.02, dataset
+    # IGB (1024-dim features) is the heaviest dataset in both systems.
+    scaled = {row[0]: row[1] for row in result.rows}
+    assert scaled["IGB"] == max(scaled.values())

@@ -1,0 +1,86 @@
+"""Extending FastGL: plug a custom sampling algorithm into the pipeline.
+
+The paper's Section 7 argues Fused-Map (and Match-Reorder) apply to any
+sampling algorithm, because every sampler needs the global->local ID map.
+This example implements a *top-degree* sampler — each node keeps its
+highest-degree neighbors, a deterministic PinSAGE-flavored heuristic —
+using the package's Sampler protocol, then runs the full FastGL framework
+over it and compares against DGL.
+
+Usage::
+
+    python examples/custom_sampler.py
+"""
+
+import numpy as np
+
+from repro import RunConfig, get_dataset
+from repro.frameworks import DGLFramework, FastGLFramework
+from repro.sampling import BaselineIdMap, FusedIdMap
+from repro.sampling.base import Sampler
+from repro.sampling.subgraph import LayerBlock, SampledSubgraph
+from repro.utils import format_seconds
+
+
+class TopDegreeSampler(Sampler):
+    """Keeps each frontier node's ``fanout`` highest-degree neighbors."""
+
+    device = "gpu"
+
+    def __init__(self, graph, fanouts, idmap=None):
+        self.graph = graph
+        self.fanouts = tuple(fanouts)
+        self.idmap = idmap if idmap is not None else FusedIdMap()
+
+    def sample(self, seeds):
+        seeds = np.asarray(seeds, dtype=np.int64)
+        frontier = seeds
+        layers = []
+        report = None
+        draws = 0
+        for fanout in self.fanouts:
+            edge_dst, edge_src_global = [], []
+            for position, node in enumerate(frontier):
+                neighbors = self.graph.neighbors(int(node))
+                if len(neighbors) > fanout:
+                    by_degree = np.argsort(self.graph.degrees[neighbors])
+                    neighbors = neighbors[by_degree[-fanout:]]
+                edge_dst.append(np.full(len(neighbors), position))
+                edge_src_global.append(neighbors)
+            edge_dst = np.concatenate(edge_dst).astype(np.int64)
+            drawn = np.concatenate(edge_src_global).astype(np.int64)
+            draws += len(drawn)
+            result = self.idmap.map(np.concatenate([frontier, drawn]))
+            report = (result.report if report is None
+                      else report + result.report)
+            layers.append(LayerBlock(
+                dst_global=frontier,
+                src_global=result.unique_globals,
+                edge_src=result.locals_of_input[len(frontier):],
+                edge_dst=edge_dst,
+            ))
+            frontier = result.unique_globals
+        return SampledSubgraph(seeds=seeds, layers=layers,
+                               idmap_report=report, num_sampled_edges=draws)
+
+
+def main() -> None:
+    dataset = get_dataset("products")
+    config = RunConfig(batch_size=128, fanouts=(3, 5), num_gpus=2)
+    print("custom top-degree sampler under both frameworks "
+          f"({dataset.name}, fanouts {config.fanouts})")
+    for framework, idmap in ((DGLFramework(), BaselineIdMap()),
+                             (FastGLFramework(), FusedIdMap())):
+        sampler = TopDegreeSampler(dataset.graph, config.fanouts, idmap)
+        report = framework.run_epoch(dataset, config, sampler=sampler)
+        print(f"  {framework.name:7s}: epoch "
+              f"{format_seconds(report.epoch_time)}, "
+              f"rows loaded {report.transfer.num_loaded}, "
+              f"reused {report.transfer.num_reused}")
+    print("\nbecause top-degree sampling concentrates on hubs, "
+          "inter-batch overlap is extreme and Match reuses almost "
+          "everything — the mechanism of the paper's Table 7 argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment has no `wheel` package, so PEP-517 editable installs
+(`pip install -e .` with build isolation) cannot build. This shim lets
+`python setup.py develop` / legacy editable installs work; all metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

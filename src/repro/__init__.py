@@ -1,0 +1,86 @@
+"""FastGL reproduction: GPU-efficient sampling-based GNN training at scale.
+
+This package reproduces *FastGL: A GPU-Efficient Framework for Accelerating
+Sampling-Based GNN Training at Large Scale* (ASPLOS 2024) on a simulated
+GPU substrate. The paper's three techniques live in :mod:`repro.core`
+(Match-Reorder, Memory-Aware computation, Fused-Map sampling); simulated
+baseline frameworks (PyG, DGL, GNNAdvisor, GNNLab) in
+:mod:`repro.frameworks`; and one experiment driver per paper table/figure
+in :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro import RunConfig, get_dataset, get_framework
+
+    dataset = get_dataset("products")
+    report = get_framework("fastgl").run_epoch(dataset, RunConfig(num_gpus=2))
+    print(report.epoch_time, report.phases.fractions())
+"""
+
+from repro.config import CostModelConfig, DEFAULT_COST_MODEL, RunConfig
+from repro.errors import (
+    ConfigError,
+    DeviceMemoryError,
+    GraphError,
+    ReproError,
+    SamplingError,
+)
+from repro.frameworks import (
+    DGLFramework,
+    FastGLFramework,
+    FRAMEWORKS,
+    Framework,
+    GNNAdvisorFramework,
+    GNNLabFramework,
+    PyGFramework,
+    fastgl_variant,
+    get_framework,
+)
+from repro.core.pipeline import FastGLTrainer, TrainHistory
+from repro.graph import CSRGraph, Dataset, DATASETS, get_dataset
+from repro.gpu import GPUSpec, RTX3090
+from repro.sampling import (
+    BaselineIdMap,
+    CpuIdMap,
+    FusedIdMap,
+    NeighborSampler,
+    RandomWalkSampler,
+    SampledSubgraph,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CostModelConfig",
+    "DEFAULT_COST_MODEL",
+    "RunConfig",
+    "ReproError",
+    "GraphError",
+    "SamplingError",
+    "DeviceMemoryError",
+    "ConfigError",
+    "Framework",
+    "FRAMEWORKS",
+    "get_framework",
+    "PyGFramework",
+    "DGLFramework",
+    "GNNAdvisorFramework",
+    "GNNLabFramework",
+    "FastGLFramework",
+    "fastgl_variant",
+    "FastGLTrainer",
+    "TrainHistory",
+    "CSRGraph",
+    "Dataset",
+    "DATASETS",
+    "get_dataset",
+    "GPUSpec",
+    "RTX3090",
+    "NeighborSampler",
+    "RandomWalkSampler",
+    "SampledSubgraph",
+    "FusedIdMap",
+    "BaselineIdMap",
+    "CpuIdMap",
+    "__version__",
+]

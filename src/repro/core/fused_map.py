@@ -1,0 +1,10 @@
+"""Fused-Map sampling — contribution-surface re-export.
+
+The implementation lives with the other ID maps in
+:mod:`repro.sampling.idmap.fused`; this module re-exports it so the paper's
+three techniques are all reachable under :mod:`repro.core`.
+"""
+
+from repro.sampling.idmap.fused import FusedIdMap, simulate_concurrent_fused_map
+
+__all__ = ["FusedIdMap", "simulate_concurrent_fused_map"]

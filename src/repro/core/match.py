@@ -1,0 +1,97 @@
+"""The Match process (paper Section 4.1).
+
+Before loading a mini-batch's features, intersect its node set with the
+nodes of the previous mini-batch (whose features are necessarily still on
+the GPU): overlapping rows are reused in place, only the difference
+(``LoadNodeID``) crosses PCIe. No extra GPU memory is consumed — the
+previous batch's buffer is required anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def match_degree(nodes_a: np.ndarray, nodes_b: np.ndarray) -> float:
+    """The paper's match degree ``M_ij = N_o / min(N_i, N_j)``.
+
+    Inputs are node-ID arrays (duplicates tolerated; uniqued internally).
+    """
+    a = np.unique(np.asarray(nodes_a, dtype=np.int64))
+    b = np.unique(np.asarray(nodes_b, dtype=np.int64))
+    if len(a) == 0 or len(b) == 0:
+        return 0.0
+    overlap = len(np.intersect1d(a, b, assume_unique=True))
+    return overlap / min(len(a), len(b))
+
+
+@dataclass
+class MatchResult:
+    """Partition of a mini-batch's nodes into reused and loaded sets."""
+
+    #: Node IDs whose features are already resident (``OverlapNodeID``).
+    overlap_ids: np.ndarray
+    #: Node IDs that must be loaded from the host (``LoadNodeID``).
+    load_ids: np.ndarray
+
+    @property
+    def num_reused(self) -> int:
+        return len(self.overlap_ids)
+
+    @property
+    def num_loaded(self) -> int:
+        return len(self.load_ids)
+
+    @property
+    def reuse_fraction(self) -> float:
+        total = self.num_reused + self.num_loaded
+        if total == 0:
+            return 0.0
+        return self.num_reused / total
+
+
+def match_split(resident: np.ndarray, wanted: np.ndarray) -> MatchResult:
+    """Split ``wanted`` into overlap-with-``resident`` and must-load parts.
+
+    ``resident`` must be sorted unique; ``wanted`` unique (any order) —
+    which is what the ID map produces for a subgraph's input nodes.
+    """
+    wanted = np.asarray(wanted, dtype=np.int64)
+    resident = np.asarray(resident, dtype=np.int64)
+    if len(resident) == 0:
+        return MatchResult(
+            overlap_ids=np.empty(0, dtype=np.int64), load_ids=wanted.copy()
+        )
+    pos = np.searchsorted(resident, wanted)
+    pos_clipped = np.minimum(pos, len(resident) - 1)
+    is_resident = resident[pos_clipped] == wanted
+    return MatchResult(
+        overlap_ids=wanted[is_resident],
+        load_ids=wanted[~is_resident],
+    )
+
+
+class MatchState:
+    """Tracks the resident node set across consecutive mini-batches."""
+
+    def __init__(self) -> None:
+        self._resident = np.empty(0, dtype=np.int64)
+
+    @property
+    def resident(self) -> np.ndarray:
+        """Currently resident node IDs (sorted unique)."""
+        return self._resident
+
+    def reset(self) -> None:
+        """Forget residency (start of an epoch / device flush)."""
+        self._resident = np.empty(0, dtype=np.int64)
+
+    def step(self, wanted: np.ndarray) -> MatchResult:
+        """Match ``wanted`` against the resident set, then make ``wanted``
+        the new resident set (its features now occupy the device buffer)."""
+        wanted = np.asarray(wanted, dtype=np.int64)
+        result = match_split(self._resident, wanted)
+        self._resident = np.sort(wanted)
+        return result

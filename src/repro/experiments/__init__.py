@@ -1,0 +1,21 @@
+"""Experiment drivers — one module per table/figure of the paper.
+
+Every module exposes ``run(...) -> ExperimentResult`` with keyword
+parameters defaulting to the reproduction-scale setup, and the benchmark
+suite under ``benchmarks/`` regenerates and prints each one. The mapping
+from experiment ID to module is in DESIGN.md §4.
+"""
+
+from repro.experiments.runner import (
+    ALL_DATASETS,
+    ExperimentResult,
+    epoch_report,
+    clear_report_cache,
+)
+
+__all__ = [
+    "ALL_DATASETS",
+    "ExperimentResult",
+    "epoch_report",
+    "clear_report_cache",
+]

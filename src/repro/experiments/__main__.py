@@ -1,0 +1,98 @@
+"""Regenerate the paper's tables and figures from the command line.
+
+Usage::
+
+    python -m repro.experiments                 # run everything
+    python -m repro.experiments fig09 tab08     # selected experiments
+    python -m repro.experiments --list
+    python -m repro.experiments --out results/  # also write .txt files
+
+Heavy experiments (fig09, fig14, fig16) take a few minutes each at the
+default reproduction scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import pathlib
+import sys
+import time
+
+#: Experiment ID -> (module, callable) in the paper's presentation order.
+EXPERIMENTS = {
+    "fig01": ("repro.experiments.fig01_breakdown", "run"),
+    "fig03": ("repro.experiments.fig03_stepwise", "run"),
+    "tab01": ("repro.experiments.tab01_left_memory", "run"),
+    "tab02": ("repro.experiments.tab02_cache_hits", "run"),
+    "tab03": ("repro.experiments.tab03_gpu_spec", "run"),
+    "tab04": ("repro.experiments.tab04_match_degree", "run"),
+    "fig09": ("repro.experiments.fig09_overall", "run"),
+    "fig10a": ("repro.experiments.fig10_memory_io", "run_sweep"),
+    "fig10b": ("repro.experiments.fig10_memory_io", "run_reorder"),
+    "tab07": ("repro.experiments.tab07_random_walk", "run"),
+    "fig11": ("repro.experiments.fig11_compute", "run"),
+    "fig12": ("repro.experiments.fig12_roofline", "run"),
+    "fig13": ("repro.experiments.fig13_sample_time", "run"),
+    "tab08": ("repro.experiments.tab08_idmap", "run"),
+    "fig14a": ("repro.experiments.fig14_scalability", "run_gpus"),
+    "fig14b": ("repro.experiments.fig14_scalability", "run_batch_size"),
+    "fig14c": ("repro.experiments.fig14_scalability", "run_feature_dim"),
+    "fig14d": ("repro.experiments.fig14_scalability", "run_fanouts"),
+    "fig15": ("repro.experiments.fig15_ablation", "run"),
+    "tab09": ("repro.experiments.tab09_memory", "run"),
+    "fig16": ("repro.experiments.fig16_convergence", "run"),
+    "ext_gh": ("repro.experiments.ext_future", "run_grace_hopper"),
+    "ext_mm": ("repro.experiments.ext_future", "run_multimachine"),
+    "ext_cache": ("repro.experiments.ext_future", "run_cache_policies"),
+    "ext_gpu": ("repro.experiments.ext_future", "run_gpu_sensitivity"),
+    "ext_samplers": ("repro.experiments.ext_future",
+                     "run_sampler_generality"),
+}
+
+
+def run_one(exp_id: str):
+    module_name, fn_name = EXPERIMENTS[exp_id]
+    module = importlib.import_module(module_name)
+    return getattr(module, fn_name)()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the FastGL paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment IDs (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiment IDs and exit")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory to also write rendered .txt files")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id, (module, fn) in EXPERIMENTS.items():
+            print(f"{exp_id:14s} {module}.{fn}")
+        return 0
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}; "
+                     f"available: {sorted(EXPERIMENTS)}")
+
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for exp_id in selected:
+        start = time.time()
+        result = run_one(exp_id)
+        text = result.render()
+        print(text)
+        print(f"[{exp_id} took {time.time() - start:.1f}s]\n")
+        if args.out:
+            (args.out / f"{exp_id}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

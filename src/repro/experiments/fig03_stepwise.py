@@ -1,0 +1,72 @@
+"""Figure 3: stepwise optimization breakdown on Products (GCN and GIN).
+
+Starting from the DGL baseline ('Naive'), apply the paper's techniques
+cumulatively — +Match-Reorder, then +Memory-Aware, then +Fused-Map
+(= FastGL) — and report each stack's phase times. The shape: each step
+removes the then-dominant phase's bottleneck; after MR+MA the sample phase
+is the residual bottleneck, which FM then cuts.
+"""
+
+from __future__ import annotations
+
+from repro.config import RunConfig
+from repro.experiments.runner import ExperimentResult, epoch_report
+from repro.frameworks import fastgl_variant
+
+STACKS = (
+    ("Naive", "dgl"),
+    ("Naive+MR", None),        # match+reorder only
+    ("Naive+MR+MA", None),     # + memory-aware
+    ("FastGL", None),          # + fused-map
+)
+
+
+def _variant_for(label: str):
+    # All FastGL stacks include the Section-5 leftover-memory cache, as the
+    # paper's do (Products leaves ample device memory — Table 1).
+    if label == "Naive+MR":
+        return fastgl_variant(match=True, reorder=True, memory_aware=False,
+                              fused_map=False, cache=True, name="naive+mr")
+    if label == "Naive+MR+MA":
+        return fastgl_variant(match=True, reorder=True, memory_aware=True,
+                              fused_map=False, cache=True, name="naive+mr+ma")
+    if label == "FastGL":
+        return fastgl_variant(match=True, reorder=True, memory_aware=True,
+                              fused_map=True, cache=True, name="fastgl-full")
+    raise KeyError(label)
+
+
+def run(
+    dataset: str = "products",
+    models=("gcn", "gin"),
+    config: RunConfig | None = None,
+) -> ExperimentResult:
+    config = config or RunConfig(num_gpus=2)
+    result = ExperimentResult(
+        exp_id="fig03",
+        title=f"Stepwise optimization breakdown on {dataset} "
+              "(per-epoch modeled seconds)",
+        headers=["model", "stack", "sample_s", "memory_io_s", "compute_s",
+                 "total_s", "sample_frac"],
+    )
+    for model in models:
+        for label, name in STACKS:
+            framework = name if name else _variant_for(label)
+            report = epoch_report(framework, dataset, config, model=model)
+            phases = report.phases
+            total = phases.serial_total
+            result.rows.append([
+                model,
+                label,
+                phases.sample,
+                phases.memory_io,
+                phases.compute + phases.allreduce,
+                total,
+                round(phases.sample / total, 3) if total else 0.0,
+            ])
+    result.notes.append(
+        "paper shape: memory IO dominates Naive; after +MR compute "
+        "dominates; after +MR+MA the sample phase exceeds 50%; FastGL "
+        "(adds Fused-Map) cuts it"
+    )
+    return result

@@ -1,0 +1,49 @@
+"""Figure 13: sample-phase time per epoch (GCN, 2 GPUs).
+
+Shape to reproduce: PyG is orders of magnitude slower (CPU sampling, up to
+~80x); DGL is ~2-2.5x slower than FastGL because of ID-map thread
+synchronization, which Fused-Map removes.
+"""
+
+from __future__ import annotations
+
+from repro.config import RunConfig
+from repro.experiments.runner import (
+    ALL_DATASETS,
+    ExperimentResult,
+    epoch_report,
+    short_name,
+    speedup,
+)
+
+FRAMEWORK_ORDER = ("pyg", "dgl", "gnnlab", "fastgl")
+
+
+def run(
+    datasets=ALL_DATASETS,
+    frameworks=FRAMEWORK_ORDER,
+    config: RunConfig | None = None,
+) -> ExperimentResult:
+    config = config or RunConfig(num_gpus=2)
+    result = ExperimentResult(
+        exp_id="fig13",
+        title="Sample-phase time per epoch (GCN, 2 GPUs)",
+        headers=["dataset"]
+        + [f"{f}_s" for f in frameworks]
+        + ["x_pyg", "x_dgl"],
+    )
+    for dataset in datasets:
+        times = {}
+        for framework in frameworks:
+            report = epoch_report(framework, dataset, config, model="gcn")
+            times[framework] = report.phases.sample
+        result.rows.append(
+            [short_name(dataset)]
+            + [times[f] for f in frameworks]
+            + [round(speedup(times["pyg"], times["fastgl"]), 1),
+               round(speedup(times["dgl"], times["fastgl"]), 2)]
+        )
+    result.notes.append(
+        "paper shape: up to 80.8x over PyG and 2.0-2.5x over DGL"
+    )
+    return result

@@ -1,0 +1,159 @@
+"""Figure 14: scalability sweeps — GPUs, batch size, feature dim, fanouts.
+
+Shapes to reproduce (all on Products, GCN, unless stated):
+
+(a) FastGL scales better with GPU count than DGL (paper at 8 GPUs: 5.93x
+    vs 3.36x over their own 1-GPU runs) — IO-bound baselines saturate the
+    shared host link.
+(b) FastGL's advantage grows with batch size (more overlap to Match, and
+    sampling — accelerated by Fused-Map — becomes the bottleneck).
+(c) FastGL wins across feature dimensions; compute speedup holds as d
+    grows.
+(d) FastGL wins across fanout/layer configurations, with the edge growing
+    for deeper/wider sampling where GNNLab's one-GPU sampler can no longer
+    hide its latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import RunConfig
+from repro.experiments.runner import ExperimentResult, epoch_report, speedup
+from repro.graph.datasets import get_dataset
+
+GPU_COUNTS = (1, 2, 4, 8)
+BATCH_SIZES = (64, 128, 256, 512, 768)
+FEATURE_DIMS = (64, 128, 256, 512)
+FANOUT_CONFIGS = ((5, 10), (5, 10, 15), (5, 5, 10, 10))
+
+
+def run_gpus(dataset: str = "products",
+             config: RunConfig | None = None) -> ExperimentResult:
+    config = config or RunConfig()
+    result = ExperimentResult(
+        exp_id="fig14a",
+        title=f"Scalability with GPU count ({dataset}, GCN)",
+        headers=["gpus", "dgl_s", "gnnlab_s", "fastgl_s", "x_dgl",
+                 "dgl_self_x", "fastgl_self_x"],
+    )
+    base = {}
+    for gpus in GPU_COUNTS:
+        cfg = replace(config, num_gpus=gpus)
+        times = {}
+        for framework in ("dgl", "gnnlab", "fastgl"):
+            if framework == "gnnlab" and gpus < 2:
+                times[framework] = float("nan")  # GNNLab needs >= 2 GPUs
+                continue
+            report = epoch_report(framework, dataset, cfg, model="gcn")
+            times[framework] = report.epoch_time
+        if gpus == GPU_COUNTS[0]:
+            base = dict(times)
+        result.rows.append([
+            gpus, times["dgl"], times["gnnlab"], times["fastgl"],
+            round(speedup(times["dgl"], times["fastgl"]), 2),
+            round(speedup(base["dgl"], times["dgl"]), 2),
+            round(speedup(base["fastgl"], times["fastgl"]), 2),
+        ])
+    result.notes.append(
+        "paper shape: at 8 GPUs DGL reaches ~3.4x its 1-GPU speed, FastGL "
+        "~5.9x; GNNLab cannot run on 1 GPU"
+    )
+    return result
+
+
+def run_batch_size(dataset: str = "products",
+                   config: RunConfig | None = None) -> ExperimentResult:
+    config = config or RunConfig(num_gpus=2)
+    result = ExperimentResult(
+        exp_id="fig14b",
+        title=f"Scalability with batch size ({dataset}, GCN, 2 GPUs)",
+        headers=["batch", "dgl_s", "gnnlab_s", "fastgl_s", "x_dgl",
+                 "x_gnnlab"],
+    )
+    for batch in BATCH_SIZES:
+        cfg = replace(config, batch_size=batch)
+        times = {
+            f: epoch_report(f, dataset, cfg, model="gcn").epoch_time
+            for f in ("dgl", "gnnlab", "fastgl")
+        }
+        result.rows.append([
+            batch, times["dgl"], times["gnnlab"], times["fastgl"],
+            round(speedup(times["dgl"], times["fastgl"]), 2),
+            round(speedup(times["gnnlab"], times["fastgl"]), 2),
+        ])
+    result.notes.append(
+        "paper shape: 1.8-3.2x over baselines, growing with batch size"
+    )
+    return result
+
+
+def run_feature_dim(dataset: str = "products",
+                    config: RunConfig | None = None) -> ExperimentResult:
+    config = config or RunConfig(num_gpus=2)
+    base = get_dataset(dataset, seed=config.seed)
+    result = ExperimentResult(
+        exp_id="fig14c",
+        title=f"Scalability with feature dimension ({dataset}, GCN, 2 GPUs;"
+              " compute_x = DGL/FastGL compute-phase ratio)",
+        headers=["feat_dim", "dgl_s", "fastgl_s", "x_overall", "compute_x"],
+    )
+    for dim in FEATURE_DIMS:
+        variant = base.with_feature_dim(dim)
+        dgl = epoch_report("dgl", f"{dataset}:d{dim}", config, model="gcn",
+                           dataset=variant)
+        fast = epoch_report("fastgl", f"{dataset}:d{dim}", config,
+                            model="gcn", dataset=variant)
+        result.rows.append([
+            dim, dgl.epoch_time, fast.epoch_time,
+            round(speedup(dgl.epoch_time, fast.epoch_time), 2),
+            round(speedup(dgl.phases.compute, fast.phases.compute), 2),
+        ])
+    result.notes.append(
+        "paper shape: 1.4-2.5x overall across dimensions; Memory-Aware "
+        "compute speedup holds for every d"
+    )
+    return result
+
+
+def run_fanouts(dataset: str = "products",
+                config: RunConfig | None = None) -> ExperimentResult:
+    config = config or RunConfig(num_gpus=2)
+    result = ExperimentResult(
+        exp_id="fig14d",
+        title=f"Scalability with fanouts/layers ({dataset}, GCN, 2 GPUs; "
+              "sample_s = sample-phase time)",
+        headers=["fanouts", "dgl_s", "gnnlab_s", "fastgl_s", "x_dgl",
+                 "fastgl_sample_s", "gnnlab_sample_s"],
+    )
+    for fanouts in FANOUT_CONFIGS:
+        cfg = replace(config, fanouts=fanouts)
+        reports = {
+            f: epoch_report(f, dataset, cfg, model="gcn")
+            for f in ("dgl", "gnnlab", "fastgl")
+        }
+        result.rows.append([
+            str(list(fanouts)),
+            reports["dgl"].epoch_time,
+            reports["gnnlab"].epoch_time,
+            reports["fastgl"].epoch_time,
+            round(speedup(reports["dgl"].epoch_time,
+                          reports["fastgl"].epoch_time), 2),
+            reports["fastgl"].phases.sample,
+            reports["gnnlab"].phases.sample,
+        ])
+    result.notes.append(
+        "paper shape: FastGL wins at every depth; for the largest config "
+        "([5,5,10,10]) GNNLab's dedicated sampler can no longer hide "
+        "sampling latency"
+    )
+    return result
+
+
+def run(config: RunConfig | None = None) -> ExperimentResult:
+    merged = ExperimentResult(
+        exp_id="fig14", title="Scalability sweeps (parts a-d)"
+    )
+    for part in (run_gpus, run_batch_size, run_feature_dim, run_fanouts):
+        merged.notes.append(part(config=config).render())
+    return merged

@@ -1,0 +1,103 @@
+"""Shared experiment machinery: result records and a memoized epoch runner.
+
+Several figures reuse the same (framework, dataset, model, config) epoch;
+``epoch_report`` memoizes them per process so regenerating the full set of
+tables stays fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import RunConfig
+from repro.frameworks import FRAMEWORKS, EpochReport
+from repro.graph.datasets import SHORT_NAMES, get_dataset
+from repro.utils.format import ascii_series, ascii_table
+
+#: Dataset order used throughout the paper's tables.
+ALL_DATASETS = ("reddit", "products", "mag", "igb", "papers100m")
+#: The four datasets of the paper's Tables 7 and 8.
+TABLE_DATASETS = ("reddit", "products", "mag", "papers100m")
+
+
+def short_name(dataset: str) -> str:
+    """Paper abbreviation (RD/PR/MAG/IGB/PA) for a dataset name."""
+    return SHORT_NAMES.get(dataset, dataset)
+
+
+@dataclass
+class ExperimentResult:
+    """Renderable result of one experiment (one paper table or figure)."""
+
+    exp_id: str
+    title: str
+    headers: list = field(default_factory=list)
+    rows: list = field(default_factory=list)
+    #: Figure-style data: (series name, xs, ys) triples.
+    series: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"== {self.exp_id}: {self.title} =="]
+        if self.rows:
+            parts.append(ascii_table(self.headers, self.rows))
+        for name, xs, ys in self.series:
+            parts.append(ascii_series(name, xs, ys))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def row_dict(self, key_col: int = 0) -> dict:
+        """Rows keyed by their ``key_col`` value (test convenience)."""
+        return {row[key_col]: row for row in self.rows}
+
+
+_REPORT_CACHE: dict = {}
+
+
+def clear_report_cache() -> None:
+    _REPORT_CACHE.clear()
+
+
+def epoch_report(
+    framework,
+    dataset_name: str,
+    config: RunConfig,
+    model: str = "gcn",
+    dataset=None,
+    sampler=None,
+) -> EpochReport:
+    """Run (and memoize) one epoch.
+
+    ``framework`` is a name from :data:`repro.frameworks.FRAMEWORKS`, a
+    framework class, or an instance. Memoization only applies to the
+    name/class forms with default datasets and samplers.
+    """
+    cacheable = dataset is None and sampler is None
+    if isinstance(framework, str):
+        key_id = framework
+        instance = FRAMEWORKS[framework]()
+    elif isinstance(framework, type):
+        key_id = f"{framework.__name__}:{framework.name}"
+        instance = framework()
+    else:
+        instance = framework
+        key_id = None
+        cacheable = False
+    key = (key_id, dataset_name, model, config)
+    if cacheable and key in _REPORT_CACHE:
+        return _REPORT_CACHE[key]
+    if dataset is None:
+        dataset = get_dataset(dataset_name, seed=config.seed)
+    report = instance.run_epoch(dataset, config, model_name=model,
+                                sampler=sampler)
+    if cacheable:
+        _REPORT_CACHE[key] = report
+    return report
+
+
+def speedup(baseline_time: float, other_time: float) -> float:
+    """``baseline / other`` guarded against zero."""
+    if other_time <= 0:
+        return float("inf")
+    return baseline_time / other_time

@@ -1,0 +1,109 @@
+"""Table 2: L1/L2 hit rates and achieved GFLOP/s of naive aggregation.
+
+The functional cache simulator replays the byte-address trace of the
+forward aggregation (source-feature rows, edge weights, partial sums, per
+edge) through an L1 -> L2 hierarchy with the RTX 3090's geometry. The
+shape to reproduce: single-digit L1 hit rates, ~15-25% L2, and achieved
+performance two orders of magnitude below the 29.2 TFLOP/s peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import RunConfig
+from repro.experiments.runner import ALL_DATASETS, ExperimentResult, short_name
+from repro.gpu.memory import MemoryHierarchy
+from repro.gpu.spec import RTX3090
+from repro.graph.datasets import get_dataset
+from repro.sampling import NeighborSampler
+from repro.utils.rng import RngFactory
+
+#: Paper's Table 2 measurements for reference.
+PAPER_VALUES = {
+    "reddit": (0.0334, 0.246, 340),
+    "products": (0.0511, 0.183, 397),
+    "mag": (0.0492, 0.157, 380),
+    "papers100m": (0.0425, 0.196, 401),
+}
+
+
+def aggregation_trace(block, feature_dim: int, max_edges: int = 15000,
+                      rng=None) -> np.ndarray:
+    """Byte-address trace of the naive forward aggregation over ``block``.
+
+    Per edge (u, v): the lines of feature row ``x_v``, the weight ``w_uv``,
+    and the lines of the partial-sum row ``h_u``. Regions are laid out
+    disjointly, as a kernel's global buffers are.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    row_bytes = feature_dim * 4
+    lines_per_row = max(1, row_bytes // 128)
+    num_edges = block.num_edges
+    if num_edges > max_edges:
+        picks = np.sort(rng.choice(num_edges, size=max_edges, replace=False))
+    else:
+        picks = np.arange(num_edges)
+    # Thousands of concurrent threads interleave their edges arbitrarily;
+    # replaying edges in storage order would credit the cache with
+    # sequential same-target locality no real kernel sees. Shuffle.
+    rng.shuffle(picks)
+    src = block.edge_src[picks].astype(np.int64)
+    dst = block.edge_dst[picks].astype(np.int64)
+
+    x_base = 0
+    w_base = x_base + block.num_src * row_bytes
+    h_base = w_base + num_edges * 4
+    offsets = np.arange(lines_per_row, dtype=np.int64) * 128
+    trace = np.empty((len(picks), 2 * lines_per_row + 1), dtype=np.int64)
+    trace[:, :lines_per_row] = x_base + src[:, None] * row_bytes + offsets
+    trace[:, lines_per_row] = w_base + picks * 4
+    trace[:, lines_per_row + 1:] = (
+        h_base + dst[:, None] * row_bytes + offsets
+    )
+    return trace.ravel()
+
+
+def run(datasets=ALL_DATASETS, config: RunConfig | None = None,
+        max_edges: int = 15000) -> ExperimentResult:
+    config = config or RunConfig()
+    result = ExperimentResult(
+        exp_id="tab02",
+        title="L1/L2 hit rates and achieved GFLOP/s of the naive forward "
+              "aggregation (functional cache simulation)",
+        headers=["dataset", "L1_hit", "L2_hit", "GFLOP/s(model)",
+                 "L1_paper", "L2_paper", "GFLOP/s_paper"],
+    )
+    for dataset_name in datasets:
+        dataset = get_dataset(dataset_name, seed=config.seed)
+        rngs = RngFactory(config.seed)
+        sampler = NeighborSampler(dataset.graph, config.fanouts,
+                                  rng=rngs.child(f"tab02:{dataset_name}"))
+        seeds = dataset.train_ids[: config.batch_size]
+        subgraph = sampler.sample(seeds)
+        block = subgraph.layers[-1]  # the big, input-side block
+        trace = aggregation_trace(block, dataset.feature_dim,
+                                  max_edges=max_edges,
+                                  rng=rngs.child("trace"))
+        hier = MemoryHierarchy(RTX3090)
+        stats = hier.run_trace(trace)
+        # Achieved performance under the measured hit rates (Eq. 3 traffic).
+        bw = hier.effective_bandwidth(stats.l1_hit_rate, stats.l2_hit_rate)
+        d = dataset.feature_dim
+        e, dst = block.num_edges, block.num_dst
+        naive_bytes = 4.0 * d * (3.0 * e - dst)
+        flops = 2.0 * e * d
+        gflops = flops / (naive_bytes / bw) / 1e9
+        paper = PAPER_VALUES.get(dataset_name, ("n/a", "n/a", "n/a"))
+        result.rows.append([
+            short_name(dataset_name),
+            round(stats.l1_hit_rate, 4),
+            round(stats.l2_hit_rate, 4),
+            round(gflops, 1),
+            paper[0], paper[1], paper[2],
+        ])
+    result.notes.append(
+        "shape: L1 hits in the low single-digit %, L2 ~15-25%, achieved "
+        "GFLOP/s roughly 1-2% of the 29155 GFLOP/s peak"
+    )
+    return result

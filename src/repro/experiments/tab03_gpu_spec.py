@@ -1,0 +1,20 @@
+"""Table 3: memory-level statistics of the RTX 3090 (spec constants)."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.gpu.spec import RTX3090, GPUSpec
+
+
+def run(spec: GPUSpec = RTX3090) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="tab03",
+        title=f"Memory-level statistics of the {spec.name}",
+        headers=["level", "bandwidth", "capacity"],
+        rows=[list(row) for row in spec.spec_table_rows()],
+    )
+    result.notes.append(
+        "these are the Table 3 datasheet values the Memory-Aware cost "
+        "model (Eqs. 3-4) is parameterized with"
+    )
+    return result

@@ -1,0 +1,71 @@
+"""Table 4: average match degree and its spread between mini-batches.
+
+Sample a window of mini-batches per dataset with the default uniform
+sampler and compute the pairwise match-degree matrix. The shape to
+reproduce: dense/small graphs (Reddit) overlap most (paper: 93.2%),
+Products substantially (71.4%), the 100M-node graphs least (MAG 35.3%,
+Papers100M 38.0%) — and the spread ``dM`` is a non-trivial few percent,
+which is the headroom the Reorder strategy exploits.
+
+Note: scaled-down graphs cannot reach the paper's tiny batch/graph ratio,
+so absolute match degrees here are biased upward; the cross-dataset
+*ordering* is the reproduced shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import RunConfig
+from repro.core.reorder import match_degree_matrix
+from repro.experiments.runner import ALL_DATASETS, ExperimentResult, short_name
+from repro.graph.datasets import get_dataset
+from repro.graph.partition import MinibatchPlan
+from repro.sampling import NeighborSampler
+from repro.utils.rng import RngFactory
+
+#: Paper Table 4 (batch 8000, uniform sampling).
+PAPER_VALUES = {
+    "reddit": (0.932, 0.049),
+    "products": (0.714, 0.070),
+    "mag": (0.353, 0.042),
+    "papers100m": (0.380, 0.053),
+}
+
+
+def match_stats(dataset_name: str, config: RunConfig,
+                num_batches: int = 12) -> tuple:
+    """(avg match degree, max-min spread) over ``num_batches`` batches."""
+    dataset = get_dataset(dataset_name, seed=config.seed)
+    rngs = RngFactory(config.seed)
+    sampler = NeighborSampler(dataset.graph, config.fanouts,
+                              rng=rngs.child(f"tab04:{dataset_name}"))
+    plan = MinibatchPlan(dataset.train_ids, config.batch_size)
+    batches = plan.batches(rngs.child("shuffle"))[:num_batches]
+    node_sets = [sampler.sample(batch).input_nodes for batch in batches]
+    matrix = match_degree_matrix(node_sets)
+    n = matrix.shape[0]
+    upper = matrix[np.triu_indices(n, k=1)]
+    return float(upper.mean()), float(upper.max() - upper.min())
+
+
+def run(datasets=ALL_DATASETS, config: RunConfig | None = None,
+        num_batches: int = 12) -> ExperimentResult:
+    config = config or RunConfig()
+    result = ExperimentResult(
+        exp_id="tab04",
+        title="Average match degree and spread between sampled mini-batches",
+        headers=["dataset", "avg_M", "dM", "avg_M_paper", "dM_paper"],
+    )
+    for dataset in datasets:
+        avg, spread = match_stats(dataset, config, num_batches)
+        paper = PAPER_VALUES.get(dataset, ("n/a", "n/a"))
+        result.rows.append([
+            short_name(dataset), round(avg, 3), round(spread, 3),
+            paper[0], paper[1],
+        ])
+    result.notes.append(
+        "shape: Reddit >> Products > MAG/Papers100M in overlap; scaled "
+        "graphs bias the absolute values upward (see module docstring)"
+    )
+    return result

@@ -1,0 +1,50 @@
+"""Table 8: time spent in the ID-map process, DGL vs Fused-Map.
+
+Per epoch, on the four Table-8 datasets: the synchronizing three-kernel ID
+map against Fused-Map. Shape: Fused-Map is ~2.1-2.7x faster (paper: RD
+2.3x, PR 2.1x, MAG 2.6x, PA 2.7x).
+"""
+
+from __future__ import annotations
+
+from repro.config import RunConfig
+from repro.experiments.runner import (
+    ExperimentResult,
+    TABLE_DATASETS,
+    epoch_report,
+    short_name,
+)
+
+#: Paper Table 8: (DGL seconds, Fused-Map seconds).
+PAPER_VALUES = {
+    "reddit": (0.18, 0.08),
+    "products": (0.30, 0.14),
+    "mag": (2.55, 0.98),
+    "papers100m": (2.18, 0.81),
+}
+
+
+def run(datasets=TABLE_DATASETS,
+        config: RunConfig | None = None) -> ExperimentResult:
+    config = config or RunConfig(num_gpus=1)
+    result = ExperimentResult(
+        exp_id="tab08",
+        title="ID-map time per epoch: DGL's synchronizing map vs Fused-Map",
+        headers=["dataset", "dgl_s", "fused_s", "x", "paper_x"],
+    )
+    for dataset in datasets:
+        dgl = epoch_report("dgl", dataset, config, model="gcn")
+        fast = epoch_report("fastgl", dataset, config, model="gcn")
+        ratio = (dgl.phases.idmap / fast.phases.idmap
+                 if fast.phases.idmap else float("inf"))
+        paper = PAPER_VALUES.get(dataset)
+        paper_ratio = round(paper[0] / paper[1], 2) if paper else "n/a"
+        result.rows.append([
+            short_name(dataset),
+            dgl.phases.idmap,
+            fast.phases.idmap,
+            round(ratio, 2),
+            paper_ratio,
+        ])
+    result.notes.append("paper band: 2.1-2.7x faster ID map with Fused-Map")
+    return result

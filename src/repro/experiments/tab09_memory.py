@@ -1,0 +1,64 @@
+"""Table 9: GPU memory usage of GCN — DGL vs FastGL.
+
+Shape to reproduce: the two systems' memory usage is comparable (FastGL's
+metadata is shared with what DGL keeps anyway; the Reorder window's
+topology lives in *host* memory) with FastGL slightly lower on the big
+graphs (the fused Memory-Aware kernel never materializes per-edge
+messages; the paper's one legible Table-9 pair is IGB: DGL 23447 MB vs
+FastGL 21035 MB).
+
+Reported at both reproduction scale (measured workspace model on real
+sampled subgraphs) and paper scale (analytic).
+"""
+
+from __future__ import annotations
+
+from repro.config import RunConfig
+from repro.experiments.runner import (
+    ALL_DATASETS,
+    ExperimentResult,
+    epoch_report,
+    short_name,
+)
+from repro.graph.datasets import DATASETS
+from repro.metrics.memory import paper_scale_workspace_bytes
+
+MIB = 1024**2
+
+
+def run(datasets=ALL_DATASETS,
+        config: RunConfig | None = None) -> ExperimentResult:
+    config = config or RunConfig(num_gpus=1)
+    result = ExperimentResult(
+        exp_id="tab09",
+        title="GPU memory usage of GCN on 1 GPU: DGL vs FastGL "
+              "(scaled measured / paper-scale analytic)",
+        headers=["dataset", "dgl_MB", "fastgl_MB", "ratio",
+                 "dgl_paper_GB", "fastgl_paper_GB"],
+    )
+    for dataset in datasets:
+        dgl = epoch_report("dgl", dataset, config, model="gcn")
+        fast = epoch_report("fastgl", dataset, config, model="gcn")
+        spec = DATASETS[dataset]
+        # At paper scale both systems run fused aggregation kernels (DGL's
+        # cuSPARSE SpMM materializes no messages either); the small gap is
+        # FastGL keeping one sparse format per block instead of DGL's three.
+        paper_dgl = paper_scale_workspace_bytes(
+            spec, materialize_edge_messages=False, structure_formats=3
+        )["total"]
+        paper_fast = paper_scale_workspace_bytes(
+            spec, materialize_edge_messages=False, structure_formats=1
+        )["total"]
+        result.rows.append([
+            short_name(dataset),
+            round(dgl.memory_peak_bytes / MIB, 1),
+            round(fast.memory_peak_bytes / MIB, 1),
+            round(fast.memory_peak_bytes / dgl.memory_peak_bytes, 3),
+            round(paper_dgl / 1024**3, 2),
+            round(paper_fast / 1024**3, 2),
+        ])
+    result.notes.append(
+        "paper shape: usage comparable, FastGL slightly lower (IGB: "
+        "23447MB vs 21035MB)"
+    )
+    return result

@@ -1,0 +1,44 @@
+"""Simulated training frameworks (the paper's Table 5 lineup)."""
+
+from repro.frameworks.base import EpochReport, Framework, PhaseTimes
+from repro.frameworks.pyg import PyGFramework
+from repro.frameworks.dgl import DGLFramework
+from repro.frameworks.gnnadvisor import GNNAdvisorFramework
+from repro.frameworks.gnnlab import GNNLabFramework
+from repro.frameworks.pagraph import PaGraphFramework
+from repro.frameworks.fastgl import FastGLFramework, fastgl_variant
+
+#: Name -> constructor for the benchmark harness.
+FRAMEWORKS = {
+    "pyg": PyGFramework,
+    "dgl": DGLFramework,
+    "gnnadvisor": GNNAdvisorFramework,
+    "gnnlab": GNNLabFramework,
+    "pagraph": PaGraphFramework,
+    "fastgl": FastGLFramework,
+}
+
+
+def get_framework(name: str, **kwargs) -> Framework:
+    """Instantiate a framework by its lowercase name."""
+    if name not in FRAMEWORKS:
+        raise KeyError(
+            f"unknown framework {name!r}; available: {sorted(FRAMEWORKS)}"
+        )
+    return FRAMEWORKS[name](**kwargs)
+
+
+__all__ = [
+    "EpochReport",
+    "Framework",
+    "PhaseTimes",
+    "PyGFramework",
+    "DGLFramework",
+    "GNNAdvisorFramework",
+    "GNNLabFramework",
+    "PaGraphFramework",
+    "FastGLFramework",
+    "fastgl_variant",
+    "FRAMEWORKS",
+    "get_framework",
+]

@@ -1,0 +1,436 @@
+"""Shared epoch driver for all compared frameworks.
+
+Each framework (PyG, DGL, GNNAdvisor, GNNLab, FastGL) is one strategy
+bundle over the common substrate — Table 5 of the paper:
+
+=============  ========  ============  ==============  ===============
+framework      sampling  ID map        memory IO       computation
+=============  ========  ============  ==============  ===============
+PyG            CPU       CPU           naive           naive
+DGL            GPU       3-kernel      naive           naive
+GNNAdvisor     GPU       3-kernel      naive           2D workload (+preprocess)
+GNNLab         GPU       3-kernel      static cache    naive (factored GPUs)
+FastGL         GPU       Fused-Map     Match-Reorder   Memory-Aware
+=============  ========  ============  ==============  ===============
+
+``run_epoch`` executes one epoch *functionally* (sampling, byte-exact
+transfer planning, optional real training) and *temporally* (the cost
+model converts counted work into modeled seconds), returning an
+:class:`EpochReport` with the three-phase breakdown the paper's figures
+are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import RunConfig
+from repro.core.memory_aware import ComputeCostModel, ComputeReport, model_profile
+from repro.core.reorder import greedy_reorder, match_degree_matrix
+from repro.gpu.cluster import allreduce_time
+from repro.gpu.pcie import link_from_cost
+from repro.gpu.spec import GPUSpec, RTX3090
+from repro.graph.datasets import Dataset
+from repro.graph.partition import MinibatchPlan
+from repro.nn import Adam, Tensor, build_model, cross_entropy
+from repro.sampling import (
+    BaselineIdMap,
+    NeighborSampler,
+    SampledSubgraph,
+)
+from repro.sampling.base import Sampler
+from repro.sim.pipeline import two_stage_makespan
+from repro.transfer.loader import FeatureLoader, NaiveLoader, TransferReport
+from repro.utils.rng import RngFactory
+
+
+@dataclass
+class PhaseTimes:
+    """Modeled seconds per training phase, summed over an epoch."""
+
+    sample: float = 0.0
+    #: ID-map share of the sample phase (already included in ``sample``).
+    idmap: float = 0.0
+    memory_io: float = 0.0
+    compute: float = 0.0
+    #: Preprocess share of ``compute`` (GNNAdvisor; already included).
+    preprocess: float = 0.0
+    allreduce: float = 0.0
+
+    @property
+    def serial_total(self) -> float:
+        """Sum of the three phases plus gradient sync (no overlap)."""
+        return self.sample + self.memory_io + self.compute + self.allreduce
+
+    def fractions(self) -> dict:
+        """Phase shares of the serial total (the paper's stacked bars)."""
+        total = self.serial_total
+        if total == 0:
+            return {"sample": 0.0, "memory_io": 0.0, "compute": 0.0}
+        return {
+            "sample": self.sample / total,
+            "memory_io": self.memory_io / total,
+            "compute": (self.compute + self.allreduce) / total,
+        }
+
+
+@dataclass
+class EpochReport:
+    """Everything one epoch produced: times, bytes, counters, losses."""
+
+    framework: str
+    dataset: str
+    model: str
+    num_batches: int
+    #: Phase sums across all batches and trainer GPUs.
+    phases: PhaseTimes
+    #: Modeled wall-clock of the epoch (accounts for data parallelism and
+    #: any pipeline overlap the framework implements).
+    epoch_time: float
+    transfer: TransferReport
+    compute: ComputeReport
+    idmap_report: object = None
+    losses: list = field(default_factory=list)
+    #: Device-memory accounting of the largest iteration (bytes).
+    memory_peak_bytes: int = 0
+    memory_detail: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def avg_loss(self) -> float:
+        if not self.losses:
+            return float("nan")
+        return float(np.mean(self.losses))
+
+    def summary(self) -> str:
+        """One human-readable paragraph about this epoch."""
+        from repro.utils.format import format_bytes, format_seconds
+
+        fractions = self.phases.fractions()
+        return (
+            f"{self.framework} on {self.dataset}/{self.model}: "
+            f"{self.num_batches} batches in "
+            f"{format_seconds(self.epoch_time)} modeled "
+            f"(sample {fractions['sample']:.0%}, "
+            f"memory IO {fractions['memory_io']:.0%}, "
+            f"compute {fractions['compute']:.0%}); "
+            f"{format_bytes(self.transfer.feature_bytes)} features over "
+            f"PCIe, {self.transfer.num_reused} rows reused, "
+            f"{self.transfer.num_cache_hits} cache hits"
+        )
+
+
+def _chunk(batches: list, num_chunks: int) -> list:
+    """Split ``batches`` into ``num_chunks`` contiguous chunks (sizes differ
+    by at most one)."""
+    sizes = [len(batches) // num_chunks] * num_chunks
+    for i in range(len(batches) % num_chunks):
+        sizes[i] += 1
+    out = []
+    start = 0
+    for size in sizes:
+        out.append(batches[start:start + size])
+        start += size
+    return out
+
+
+class Framework:
+    """Base framework; subclasses override the strategy hooks."""
+
+    name = "base"
+    #: "gpu" or "cpu" — where neighbor draws run.
+    sample_device = "gpu"
+    #: Compute-cost mode: "naive", "memory_aware" or "advisor".
+    compute_mode = "naive"
+    #: GNNLab dedicates sampler GPU(s) and pipelines produce/consume.
+    pipelined_sampling = False
+    #: FastGL prefetches the next subgraph's topology under compute.
+    prefetch_topology = False
+    #: FastGL reorders each window of sampled mini-batches (Algorithm 1).
+    use_reorder = False
+    #: Naive kernels materialize per-edge messages (memory accounting);
+    #: the fused Memory-Aware kernel does not.
+    materialize_edge_messages = True
+
+    def __init__(self, spec: GPUSpec = RTX3090) -> None:
+        self.spec = spec
+
+    # -- strategy hooks ------------------------------------------------------
+    def make_idmap(self):
+        return BaselineIdMap()
+
+    def make_sampler(self, dataset: Dataset, config: RunConfig,
+                     rng) -> Sampler:
+        return NeighborSampler(
+            dataset.graph,
+            config.fanouts,
+            idmap=self.make_idmap(),
+            device=self.sample_device,
+            rng=rng,
+        )
+
+    def make_loader(self, dataset: Dataset, config: RunConfig,
+                    sampler: Sampler, rng) -> FeatureLoader:
+        return NaiveLoader(dataset.features)
+
+    def num_sampler_gpus(self, config: RunConfig) -> int:
+        """GPUs dedicated to sampling (0: trainers sample for themselves)."""
+        return 0
+
+    def num_trainer_gpus(self, config: RunConfig) -> int:
+        trainers = config.num_gpus - self.num_sampler_gpus(config)
+        if trainers < 1:
+            raise ValueError(
+                f"{self.name} needs more than {config.num_gpus} GPU(s)"
+            )
+        return trainers
+
+    # -- the epoch driver -----------------------------------------------------
+    def run_epoch(
+        self,
+        dataset: Dataset,
+        config: RunConfig,
+        model_name: str = "gcn",
+        sampler: Sampler | None = None,
+    ) -> EpochReport:
+        """Execute one epoch and return its full report."""
+        cost = config.cost
+        rngs = RngFactory(config.seed)
+        link = link_from_cost(self.spec, cost)
+        trainers = self.num_trainer_gpus(config)
+        profile = model_profile(
+            model_name, dataset.feature_dim, dataset.num_classes,
+            hidden_dim=config.hidden_dim, num_layers=config.num_layers,
+        )
+        cost_model = ComputeCostModel(self.spec, cost, self.compute_mode)
+
+        plan = MinibatchPlan(dataset.train_ids, config.batch_size,
+                             locality=config.batch_locality)
+
+        if sampler is None:
+            sampler = self.make_sampler(dataset, config,
+                                        rngs.child("sampler"))
+        loaders = [
+            self.make_loader(dataset, config, sampler,
+                             rngs.child(f"loader{t}"))
+            for t in range(trainers)
+        ]
+
+        model = None
+        optimizer = None
+        if config.train_model:
+            model = build_model(
+                model_name, dataset.feature_dim, dataset.num_classes,
+                hidden_dim=config.hidden_dim, num_layers=config.num_layers,
+                seed=rngs.child_seed("model"),
+            )
+            optimizer = Adam(model.parameters(), lr=3e-3)
+        param_bytes = (
+            model.parameter_bytes()
+            if model is not None
+            else _profile_param_bytes(profile)
+        )
+
+        phases = PhaseTimes()
+        transfer_total = TransferReport()
+        compute_total = ComputeReport()
+        idmap_total = None
+        losses: list = []
+        memory_peak = 0
+        memory_detail: dict = {}
+        epoch_time = 0.0
+        num_batches = 0
+        iteration_log: list = []  # per trainer: [(sample, io, compute), ...]
+
+        for epoch in range(max(1, config.num_epochs)):
+            batches = plan.batches(rngs.child(f"epoch-shuffle:{epoch}"))
+            chunks = _chunk(batches, trainers)
+            num_batches += len(batches)
+            per_trainer_iters: list = []  # per trainer: (sample, io+comp)
+            for t, chunk in enumerate(chunks):
+                loader = loaders[t]
+                loader.reset_epoch()
+                subgraphs = [sampler.sample(batch) for batch in chunk]
+                order = list(range(len(subgraphs)))
+                if self.use_reorder and len(subgraphs) > 2:
+                    order = self._reorder_windows(subgraphs, config)
+                iters = []
+                for position in order:
+                    sg = subgraphs[position]
+                    seeds = chunk[position]
+                    sample_t = sampler.modeled_sample_time(sg, cost)
+                    idmap_t = sg.idmap_report.modeled_time(cost)
+                    sample_t += idmap_t
+
+                    report = loader.plan(sg)
+                    comp = cost_model.subgraph_report(sg, profile)
+                    io_t = self._io_time(report, comp, link, cost, trainers)
+
+                    phases.sample += sample_t
+                    phases.idmap += idmap_t
+                    phases.memory_io += io_t
+                    phases.compute += comp.total_time
+                    phases.preprocess += comp.preprocess_time
+                    transfer_total.merge(report)
+                    compute_total.merge(comp)
+                    idmap_total = (
+                        sg.idmap_report if idmap_total is None
+                        else idmap_total + sg.idmap_report
+                    )
+                    iters.append((sample_t, io_t + comp.total_time))
+                    while len(iteration_log) <= t:
+                        iteration_log.append([])
+                    iteration_log[t].append(
+                        (sample_t, io_t, comp.total_time)
+                    )
+
+                    if model is not None:
+                        features = Tensor(
+                            dataset.features.gather(sg.input_nodes)
+                        )
+                        logits = model(sg, features)
+                        loss = cross_entropy(logits, dataset.labels[seeds])
+                        optimizer.zero_grad()
+                        loss.backward()
+                        optimizer.step()
+                        losses.append(float(loss.data))
+
+                    usage = self._workspace_bytes(sg, profile, dataset,
+                                                  param_bytes, config)
+                    if usage["total"] > memory_peak:
+                        memory_peak = usage["total"]
+                        memory_detail = usage
+                per_trainer_iters.append(iters)
+
+            epoch_time += self._epoch_time(per_trainer_iters, param_bytes,
+                                           trainers, config)
+            phases.allreduce += self._allreduce_total(
+                per_trainer_iters, param_bytes, trainers, config
+            )
+        return EpochReport(
+            framework=self.name,
+            dataset=dataset.name,
+            model=model_name,
+            num_batches=num_batches,
+            phases=phases,
+            epoch_time=epoch_time,
+            transfer=transfer_total,
+            compute=compute_total,
+            idmap_report=idmap_total,
+            losses=losses,
+            memory_peak_bytes=memory_peak,
+            memory_detail=memory_detail,
+            extras={"iterations": iteration_log,
+                    "num_trainers": trainers},
+        )
+
+    # -- helpers ---------------------------------------------------------------
+    def _reorder_windows(self, subgraphs: list, config: RunConfig) -> list:
+        """Greedy-reorder each window of ``reorder_window`` mini-batches."""
+        order: list = []
+        window = max(2, config.reorder_window)
+        for start in range(0, len(subgraphs), window):
+            group = list(range(start, min(start + window, len(subgraphs))))
+            if len(group) > 2:
+                matrix = match_degree_matrix(
+                    [subgraphs[i].input_nodes for i in group]
+                )
+                group = [group[i] for i in greedy_reorder(matrix)]
+            order.extend(group)
+        return order
+
+    def _io_time(self, report: TransferReport, comp: ComputeReport,
+                 link, cost, trainers: int) -> float:
+        io_t = report.modeled_time(link, cost, concurrent_links=trainers)
+        if self.prefetch_topology and report.total_bytes > 0:
+            # Topology of the next batch moves under this batch's compute;
+            # only the un-overlapped remainder counts.
+            bw = link.effective_bandwidth(trainers)
+            structure_t = report.structure_bytes / bw
+            io_t -= min(structure_t, comp.total_time)
+        return max(0.0, io_t)
+
+    def _allreduce_total(self, per_trainer_iters, param_bytes, trainers,
+                         config) -> float:
+        if trainers <= 1:
+            return 0.0
+        rounds = max(len(iters) for iters in per_trainer_iters)
+        return rounds * allreduce_time(param_bytes, trainers, config.cost)
+
+    def _epoch_time(self, per_trainer_iters, param_bytes, trainers,
+                    config) -> float:
+        """Lockstep data-parallel makespan: each round runs one batch per
+        trainer; gradient sync joins the round."""
+        rounds = max(len(iters) for iters in per_trainer_iters)
+        sync = (allreduce_time(param_bytes, trainers, config.cost)
+                if trainers > 1 else 0.0)
+        total = 0.0
+        for r in range(rounds):
+            round_time = 0.0
+            for iters in per_trainer_iters:
+                if r < len(iters):
+                    sample_t, rest_t = iters[r]
+                    round_time = max(round_time, sample_t + rest_t)
+            total += round_time + sync
+        return total
+
+    def _workspace_bytes(self, subgraph: SampledSubgraph, profile, dataset,
+                         param_bytes: int, config: RunConfig) -> dict:
+        """Device-memory accounting for one iteration (Table 1/9 model)."""
+        cost = config.cost
+        store = dataset.features
+        feature_buf = subgraph.num_nodes * store.bytes_per_node
+        structure = subgraph.structure_bytes()
+        activations = 0
+        edge_messages = 0
+        for (d_in, d_out), block in zip(profile.layer_dims,
+                                        reversed(subgraph.layers)):
+            rows = block.num_src if profile.gemm_on_src else block.num_dst
+            activations += rows * d_out * 4 * 2  # forward + gradient
+            agg_dim = d_out if profile.gemm_on_src else d_in
+            if self.materialize_edge_messages:
+                edge_messages += block.num_edges * agg_dim * 4
+        workspace = feature_buf + structure + activations + edge_messages
+        total = int(
+            cost.runtime_overhead_bytes
+            + param_bytes * 3  # params + Adam moments
+            + workspace * cost.allocator_slack
+            + self._extra_device_bytes(dataset, config)
+        )
+        return {
+            "total": total,
+            "features": feature_buf,
+            "structure": structure,
+            "activations": activations,
+            "edge_messages": edge_messages,
+            "params_opt": param_bytes * 3,
+            "runtime": cost.runtime_overhead_bytes,
+            "cache": self._extra_device_bytes(dataset, config),
+        }
+
+    def _extra_device_bytes(self, dataset: Dataset,
+                            config: RunConfig) -> int:
+        """Additional pinned device memory (feature caches)."""
+        return 0
+
+
+def _profile_param_bytes(profile) -> int:
+    """Parameter bytes implied by a model profile (when no real model is
+    instantiated): weights + biases per GEMM."""
+    total = 0
+    for d_in, d_out in profile.layer_dims:
+        per_gemm = d_in * d_out + d_out
+        total += per_gemm * profile.gemms_per_layer
+        if profile.attention_heads:
+            total += 2 * profile.attention_heads * d_out
+    return total * 4
+
+
+def pipeline_epoch_time(
+    produce_times: list,
+    consume_times: list,
+) -> float:
+    """Helper for pipelined frameworks (re-exported for GNNLab)."""
+    return two_stage_makespan(produce_times, consume_times)

@@ -1,0 +1,22 @@
+"""DGL-style framework: GPU sampling with the synchronizing three-kernel
+ID map, naive feature loading and naive aggregation kernels.
+
+This is the paper's primary baseline ('Naive' in Fig. 3) and the base the
+ablation variants build on.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.base import Framework
+from repro.sampling import BaselineIdMap
+
+
+class DGLFramework(Framework):
+    """Deep Graph Library strategy bundle."""
+
+    name = "dgl"
+    sample_device = "gpu"
+    compute_mode = "naive"
+
+    def make_idmap(self):
+        return BaselineIdMap()

@@ -1,0 +1,26 @@
+"""GNNAdvisor-style framework.
+
+GNNAdvisor accelerates aggregation with 2D workload management, but it was
+designed for full-graph training: its preprocessing (neighbor grouping +
+node renumbering) must run on *every sampled subgraph*, and that
+per-iteration cost dominates — the paper shows preprocessing taking up to
+75% of its computation phase, making it a net loss for sampling-based
+training. Sampling is borrowed from DGL (as the paper does to give it a
+sampler at all).
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.base import Framework
+from repro.sampling import BaselineIdMap
+
+
+class GNNAdvisorFramework(Framework):
+    """GNNAdvisor strategy bundle (DGL sampler + 2D workload compute)."""
+
+    name = "gnnadvisor"
+    sample_device = "gpu"
+    compute_mode = "advisor"
+
+    def make_idmap(self):
+        return BaselineIdMap()

@@ -1,0 +1,42 @@
+"""PaGraph-style framework: degree-ranked static feature cache.
+
+PaGraph [Lin et al., SoCC'20] pins the highest-degree nodes' features on
+the GPU. The paper cites it as the other cache-based IO optimizer and
+notes its hit rate collapses on large graphs ("less than 20% on MAG") —
+exactly the regime Match-Reorder targets. Sampling and compute follow the
+DGL baseline.
+"""
+
+from __future__ import annotations
+
+from repro.config import RunConfig
+from repro.frameworks.base import Framework
+from repro.frameworks.gnnlab import _cache_budget
+from repro.graph.datasets import Dataset
+from repro.sampling import BaselineIdMap
+from repro.sampling.base import Sampler
+from repro.transfer.cache import DegreeCachePolicy
+from repro.transfer.loader import CachedLoader, FeatureLoader
+
+
+class PaGraphFramework(Framework):
+    """PaGraph strategy bundle (degree cache, no pipelining)."""
+
+    name = "pagraph"
+    sample_device = "gpu"
+    compute_mode = "naive"
+
+    def make_idmap(self):
+        return BaselineIdMap()
+
+    def make_loader(self, dataset: Dataset, config: RunConfig,
+                    sampler: Sampler, rng) -> FeatureLoader:
+        cache = DegreeCachePolicy.build(
+            dataset.graph, dataset.features, _cache_budget(dataset, config)
+        )
+        self._last_cache = cache
+        return CachedLoader(dataset.features, cache)
+
+    def _extra_device_bytes(self, dataset: Dataset,
+                            config: RunConfig) -> int:
+        return _cache_budget(dataset, config)

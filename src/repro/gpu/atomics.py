@@ -1,0 +1,53 @@
+"""Atomic-operation cost model.
+
+Fused-Map (Algorithm 2 of the paper) replaces thread synchronization with
+``atomicCAS`` (hash-table key insertion, plus linear-probing retries) and
+``atomicAdd`` (local-ID allocation). The functional hash table in
+:mod:`repro.sampling.idmap` counts exactly how many of each are executed;
+this module converts those counts into modeled seconds and captures the
+contention behaviour of atomics on the same address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CostModelConfig, DEFAULT_COST_MODEL
+
+
+@dataclass(frozen=True)
+class AtomicCounters:
+    """Counts of executed atomic operations."""
+
+    cas_ops: int = 0
+    add_ops: int = 0
+    #: Extra CAS retries caused by hash collisions (linear probing).
+    probe_retries: int = 0
+
+    def __add__(self, other: "AtomicCounters") -> "AtomicCounters":
+        return AtomicCounters(
+            cas_ops=self.cas_ops + other.cas_ops,
+            add_ops=self.add_ops + other.add_ops,
+            probe_retries=self.probe_retries + other.probe_retries,
+        )
+
+    @property
+    def total_ops(self) -> int:
+        return self.cas_ops + self.add_ops + self.probe_retries
+
+
+def atomic_time(
+    counters: AtomicCounters,
+    cost: CostModelConfig = DEFAULT_COST_MODEL,
+    contention_factor: float = 1.0,
+) -> float:
+    """Seconds spent executing ``counters`` worth of atomics.
+
+    ``contention_factor`` >= 1 models serialization when many threads target
+    the same address (e.g. every thread incrementing one ``LocalID``
+    counter); the device-wide throughput is divided by it.
+    """
+    if contention_factor < 1.0:
+        raise ValueError("contention_factor must be >= 1")
+    throughput = cost.atomic_ops_per_s / contention_factor
+    return counters.total_ops / throughput

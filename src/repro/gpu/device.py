@@ -1,0 +1,80 @@
+"""Simulated device-memory allocator.
+
+Tracks named allocations against a fixed capacity so frameworks can account
+for what lives on the GPU during training — model parameters, optimizer
+state, per-layer activations, subgraph structure, staged features and any
+feature cache. This powers the paper's Table 1 (remaining memory) and
+Table 9 (DGL vs FastGL usage) reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceMemoryError
+
+
+@dataclass
+class Allocation:
+    name: str
+    num_bytes: int
+
+
+@dataclass
+class DeviceMemory:
+    """A byte-accounted device memory of ``capacity_bytes``."""
+
+    capacity_bytes: int
+    allocations: dict = field(default_factory=dict)
+    peak_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(a.num_bytes for a in self.allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def alloc(self, name: str, num_bytes: int) -> Allocation:
+        """Reserve ``num_bytes`` under ``name``.
+
+        Raises :class:`DeviceMemoryError` when the device is full; reusing a
+        live name is a programming error and raises ``ValueError``.
+        """
+        num_bytes = int(num_bytes)
+        if num_bytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if name in self.allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if num_bytes > self.free_bytes:
+            raise DeviceMemoryError(num_bytes, self.free_bytes, what=name)
+        allocation = Allocation(name=name, num_bytes=num_bytes)
+        self.allocations[name] = allocation
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        return allocation
+
+    def free(self, name: str) -> None:
+        """Release the allocation registered under ``name``."""
+        if name not in self.allocations:
+            raise KeyError(f"no allocation named {name!r}")
+        del self.allocations[name]
+
+    def resize(self, name: str, num_bytes: int) -> None:
+        """Grow or shrink a live allocation (models reused staging buffers)."""
+        if name not in self.allocations:
+            raise KeyError(f"no allocation named {name!r}")
+        current = self.allocations[name].num_bytes
+        delta = int(num_bytes) - current
+        if delta > self.free_bytes:
+            raise DeviceMemoryError(delta, self.free_bytes, what=name)
+        self.allocations[name].num_bytes = int(num_bytes)
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+
+    def snapshot(self) -> dict:
+        """Mapping of live allocation names to byte sizes."""
+        return {name: a.num_bytes for name, a in self.allocations.items()}

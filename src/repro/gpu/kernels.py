@@ -1,0 +1,154 @@
+"""Thread-block configuration and occupancy model for aggregation kernels.
+
+The Memory-Aware kernel of the paper assigns each thread block X target
+nodes and Y feature lanes (X*Y <= 1024 threads) and stages the partial sums
+and edge weights in shared memory: ``4*X*Y + 4*X*|N(u)|`` bytes per block
+(Section 4.2). This module checks those hardware constraints and computes SM
+occupancy, which scales the achievable shared-memory bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.gpu.spec import GPUSpec
+
+
+@dataclass(frozen=True)
+class ThreadBlockConfig:
+    """A (X target nodes) x (Y feature lanes) thread-block shape."""
+
+    x_nodes: int = 8
+    y_dims: int = 32
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.x_nodes * self.y_dims
+
+    def validate(self, spec: GPUSpec) -> None:
+        if self.x_nodes <= 0 or self.y_dims <= 0:
+            raise ConfigError("thread-block dimensions must be positive")
+        if self.threads_per_block > spec.max_threads_per_block:
+            raise ConfigError(
+                f"X*Y = {self.threads_per_block} exceeds the hardware limit "
+                f"of {spec.max_threads_per_block} threads per block"
+            )
+
+    def shared_bytes(self, avg_degree: float) -> int:
+        """Shared memory per block: partial sums + weights (paper, §4.2)."""
+        partial_sums = 4 * self.x_nodes * self.y_dims
+        weights = 4 * self.x_nodes * int(math.ceil(avg_degree))
+        return partial_sums + weights
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """Launch geometry and occupancy for one aggregation kernel."""
+
+    config: ThreadBlockConfig
+    num_blocks: int
+    shared_bytes_per_block: int
+    blocks_per_sm: int
+    occupancy: float
+
+    @property
+    def fits(self) -> bool:
+        return self.blocks_per_sm >= 1
+
+
+def aggregation_kernel_plan(
+    num_target_nodes: int,
+    feature_dim: int,
+    avg_degree: float,
+    spec: GPUSpec,
+    config: ThreadBlockConfig = ThreadBlockConfig(),
+) -> KernelPlan:
+    """Plan the Memory-Aware aggregation launch.
+
+    ``ceil(N / X) * ceil(d / Y)`` blocks cover all target nodes and feature
+    lanes (the paper uses ``ceil(d / Y)`` blocks per X-node group).
+    Occupancy is limited by both the shared-memory footprint and the
+    resident-thread limit of each SM.
+    """
+    config.validate(spec)
+    shared = config.shared_bytes(avg_degree)
+    if shared > spec.max_shared_per_block:
+        raise ConfigError(
+            f"shared memory per block ({shared}B) exceeds the limit "
+            f"({spec.max_shared_per_block}B); reduce X or Y"
+        )
+    node_groups = max(1, math.ceil(num_target_nodes / config.x_nodes))
+    dim_groups = max(1, math.ceil(feature_dim / config.y_dims))
+    num_blocks = node_groups * dim_groups
+
+    by_shared = spec.l1_bytes_per_sm // max(1, shared)
+    by_threads = spec.max_threads_per_sm // config.threads_per_block
+    blocks_per_sm = max(0, min(by_shared, by_threads))
+    resident_threads = blocks_per_sm * config.threads_per_block
+    occupancy = min(1.0, resident_threads / spec.max_threads_per_sm)
+    return KernelPlan(
+        config=config,
+        num_blocks=num_blocks,
+        shared_bytes_per_block=shared,
+        blocks_per_sm=int(blocks_per_sm),
+        occupancy=occupancy,
+    )
+
+
+def autotune_thread_block(
+    feature_dim: int,
+    avg_degree: float,
+    spec: GPUSpec,
+    candidates=None,
+) -> ThreadBlockConfig:
+    """Pick the thread-block shape maximizing modeled throughput.
+
+    The paper fixes X=8/Y=32 empirically; this sweeps candidate shapes
+    and selects the one with the highest ``occupancy * resident threads``
+    subject to the shared-memory and thread-count limits — a proxy for the
+    shared-memory bandwidth actually reachable. Ties break toward the
+    paper's default.
+    """
+    if candidates is None:
+        candidates = [
+            ThreadBlockConfig(x, y)
+            for x in (4, 8, 16, 32)
+            for y in (16, 32, 64, 128)
+            if x * y <= spec.max_threads_per_block
+        ]
+    default = ThreadBlockConfig()
+    best = None
+    best_score = -1.0
+    for config in candidates:
+        try:
+            plan = aggregation_kernel_plan(
+                num_target_nodes=max(1, config.x_nodes),
+                feature_dim=feature_dim,
+                avg_degree=avg_degree,
+                spec=spec,
+                config=config,
+            )
+        except ConfigError:
+            continue
+        if not plan.fits:
+            continue
+        score = plan.occupancy
+        is_default = (config.x_nodes == default.x_nodes
+                      and config.y_dims == default.y_dims)
+        if score > best_score or (score == best_score and is_default):
+            best_score = score
+            best = config
+    if best is None:
+        raise ConfigError("no thread-block shape fits this workload")
+    return best
+
+
+def gemm_time(m: int, n: int, k: int, spec: GPUSpec,
+              efficiency: float = 0.45) -> float:
+    """Modeled seconds for a dense (m,k) x (k,n) GEMM (the update phase)."""
+    if min(m, n, k) <= 0:
+        return 0.0
+    flops = 2.0 * m * n * k
+    return flops / (spec.peak_flops * efficiency)

@@ -1,0 +1,167 @@
+"""GPU cache and memory-hierarchy model.
+
+Two layers:
+
+* :class:`CacheSim` — a functional set-associative LRU cache simulator.
+  Feeding it the byte-address trace of the aggregation phase reproduces the
+  paper's Table 2 (L1/L2 hit rates of 3-5% / 15-25% on sparse aggregation).
+* :class:`MemoryHierarchy` — converts per-level hit fractions into the
+  effective bandwidth available to the compute units, which is what the
+  Memory-Aware analysis (Eqs. 3-4 of the paper) is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CacheStats:
+    """Access counters produced by :class:`CacheSim`."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction in [0, 1]; zero when no accesses were made."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class CacheSim:
+    """Set-associative LRU cache over a byte-address trace.
+
+    The simulator is functional (it tracks actual tags per set) rather than
+    statistical, so locality effects like the re-reference of hub-node
+    feature rows are captured. Traces should be kept to a few hundred
+    thousand accesses; callers subsample longer traces.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total cache capacity.
+    line_bytes:
+        Cache-line size; consecutive bytes within one line count as hits.
+    ways:
+        Associativity. ``capacity_bytes`` must be divisible by
+        ``line_bytes * ways``.
+    """
+
+    def __init__(self, capacity_bytes: int, line_bytes: int = 128,
+                 ways: int = 8) -> None:
+        if capacity_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ValueError("cache parameters must be positive")
+        num_lines = max(ways, capacity_bytes // line_bytes)
+        self.line_bytes = int(line_bytes)
+        self.ways = int(ways)
+        self.num_sets = max(1, num_lines // ways)
+        # tags[set, way] = line tag (-1 empty); stamp[set, way] = LRU clock.
+        self._tags = np.full((self.num_sets, self.ways), -1, dtype=np.int64)
+        self._stamp = np.zeros((self.num_sets, self.ways), dtype=np.int64)
+        self._clock = 0
+        self.stats = CacheStats()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_sets * self.ways * self.line_bytes
+
+    def reset(self) -> None:
+        """Clear contents and counters."""
+        self._tags.fill(-1)
+        self._stamp.fill(0)
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def access(self, addresses: np.ndarray) -> np.ndarray:
+        """Run ``addresses`` (byte addresses) through the cache.
+
+        Returns a boolean array marking which accesses hit. Misses are
+        installed with LRU replacement.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        lines = addresses // self.line_bytes
+        sets = lines % self.num_sets
+        hit_mask = np.zeros(len(addresses), dtype=bool)
+        tags = self._tags
+        stamp = self._stamp
+        clock = self._clock
+        for i in range(len(lines)):
+            s = sets[i]
+            tag = lines[i]
+            row = tags[s]
+            clock += 1
+            way = -1
+            for w in range(self.ways):
+                if row[w] == tag:
+                    way = w
+                    break
+            if way >= 0:
+                hit_mask[i] = True
+                stamp[s, way] = clock
+            else:
+                victim = int(np.argmin(stamp[s]))
+                tags[s, victim] = tag
+                stamp[s, victim] = clock
+        self._clock = clock
+        self.stats.accesses += len(addresses)
+        self.stats.hits += int(hit_mask.sum())
+        return hit_mask
+
+
+@dataclass
+class HierarchyStats:
+    """Per-level hit fractions of a two-level cache simulation."""
+
+    l1_hit_rate: float
+    l2_hit_rate: float
+    accesses: int
+
+    @property
+    def global_fraction(self) -> float:
+        """Fraction of accesses ultimately served by global memory."""
+        return (1.0 - self.l1_hit_rate) * (1.0 - self.l2_hit_rate)
+
+
+class MemoryHierarchy:
+    """L1 -> L2 -> global simulation and effective-bandwidth conversion."""
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+        # Aggregation kernels run across all SMs, but any single access
+        # stream sees one SM's L1. Model L1 as a single-SM slice and L2 as
+        # the shared 6 MiB array (paper Table 3).
+        self.l1 = CacheSim(spec.l1_bytes_per_sm, spec.cache_line_bytes,
+                           ways=4)
+        self.l2 = CacheSim(spec.l2_bytes, spec.cache_line_bytes, ways=16)
+
+    def run_trace(self, addresses: np.ndarray) -> HierarchyStats:
+        """Simulate a trace through L1 then L2; return hit fractions."""
+        l1_hits = self.l1.access(addresses)
+        missed = np.asarray(addresses)[~l1_hits]
+        if len(missed):
+            self.l2.access(missed)
+        l1_rate = self.l1.stats.hit_rate
+        l2_rate = self.l2.stats.hit_rate
+        return HierarchyStats(l1_hit_rate=l1_rate, l2_hit_rate=l2_rate,
+                              accesses=int(self.l1.stats.accesses))
+
+    def effective_bandwidth(self, l1_hit: float, l2_hit: float) -> float:
+        """Bandwidth seen by the compute units given per-level hit rates.
+
+        Each byte is served by exactly one level; the average service time
+        per byte is the hit-weighted sum of per-level inverse bandwidths.
+        """
+        spec = self.spec
+        f_l1 = l1_hit
+        f_l2 = (1.0 - l1_hit) * l2_hit
+        f_glob = (1.0 - l1_hit) * (1.0 - l2_hit)
+        per_byte = f_l1 / spec.l1_bw + f_l2 / spec.l2_bw + f_glob / spec.global_bw
+        return 1.0 / per_byte

@@ -1,0 +1,45 @@
+"""Graph substrate: CSR storage, synthetic generators, datasets, features.
+
+The paper evaluates on five real graphs (Reddit, OGB-Products, MAG,
+IGB-large, OGB-Papers100M). Those datasets are not available offline, so
+:mod:`repro.graph.datasets` builds scaled synthetic analogues that preserve
+the properties the paper's techniques depend on: power-law degree
+distributions, density, feature width, label/community homophily, and the
+ratio of spare GPU memory to feature-table size.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    chung_lu_graph,
+    community_graph,
+    erdos_renyi_graph,
+    power_law_degrees,
+    rmat_graph,
+)
+from repro.graph.features import (
+    FeatureStore,
+    HashFeatureStore,
+    MaterializedFeatureStore,
+    PlantedFeatureStore,
+)
+from repro.graph.datasets import Dataset, DatasetSpec, get_dataset, DATASETS
+from repro.graph.partition import MinibatchPlan, train_split
+
+__all__ = [
+    "CSRGraph",
+    "chung_lu_graph",
+    "community_graph",
+    "erdos_renyi_graph",
+    "power_law_degrees",
+    "rmat_graph",
+    "FeatureStore",
+    "HashFeatureStore",
+    "MaterializedFeatureStore",
+    "PlantedFeatureStore",
+    "Dataset",
+    "DatasetSpec",
+    "get_dataset",
+    "DATASETS",
+    "MinibatchPlan",
+    "train_split",
+]

@@ -1,0 +1,104 @@
+"""Training-node splits and mini-batch planning.
+
+Sampling-based training splits the training nodes into mini-batches and
+samples one subgraph per batch (Fig. 2 of the paper). ``MinibatchPlan``
+produces those batches deterministically per epoch; the Reorder strategy
+later permutes *whole batches*, never their contents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import ensure_rng
+
+
+def train_split(num_nodes: int, train_fraction: float, rng=None) -> np.ndarray:
+    """Choose a random ``train_fraction`` of nodes as training seeds."""
+    if not 0.0 < train_fraction <= 1.0:
+        raise ConfigError("train_fraction must be in (0, 1]")
+    rng = ensure_rng(rng)
+    num_train = max(1, int(round(train_fraction * num_nodes)))
+    perm = rng.permutation(num_nodes)
+    return np.sort(perm[:num_train]).astype(np.int64)
+
+
+class MinibatchPlan:
+    """Splits training nodes into mini-batches, per epoch.
+
+    ``locality`` in [0, 1] controls batch composition: 0 is a uniform
+    shuffle; at higher values that fraction of each batch is drawn from a
+    contiguous run of the (ID-sorted) training nodes. Real benchmark splits
+    are not uniform — OGB-Products' training set is sales-rank-ordered and
+    Reddit's is time-ordered — and the synthetic generators here lay
+    communities out contiguously by node ID, so contiguous runs model the
+    community-correlated batches such splits produce. This heterogeneity is
+    what gives the Greedy Reorder strategy its headroom (the paper's
+    Table 4 reports a 4-7% match-degree spread).
+    """
+
+    def __init__(self, train_ids: np.ndarray, batch_size: int,
+                 drop_last: bool = False, locality: float = 0.0) -> None:
+        train_ids = np.asarray(train_ids, dtype=np.int64)
+        if batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        if len(train_ids) == 0:
+            raise ConfigError("train_ids must be non-empty")
+        if not 0.0 <= locality <= 1.0:
+            raise ConfigError("locality must be in [0, 1]")
+        self.train_ids = train_ids
+        self.batch_size = int(batch_size)
+        self.drop_last = bool(drop_last)
+        self.locality = float(locality)
+
+    @property
+    def num_batches(self) -> int:
+        full, rem = divmod(len(self.train_ids), self.batch_size)
+        if rem and not self.drop_last:
+            return full + 1
+        return max(1, full)
+
+    def _slice_batches(self, ids: np.ndarray) -> list:
+        out = []
+        for start in range(0, len(ids), self.batch_size):
+            batch = ids[start:start + self.batch_size]
+            if len(batch) < self.batch_size and self.drop_last and out:
+                break
+            out.append(batch)
+        return out
+
+    def batches(self, rng=None) -> list:
+        """Return this epoch's batches (a new shuffle per call)."""
+        rng = ensure_rng(rng)
+        if self.locality <= 0.0:
+            return self._slice_batches(rng.permutation(self.train_ids))
+
+        num_batches = self.num_batches
+        local_per_batch = int(round(self.batch_size * self.locality))
+        ids_sorted = np.sort(self.train_ids)
+        # Contiguous chunk per batch: the head of each equal slice of the
+        # sorted IDs becomes the batch's local part; the tails are pooled,
+        # shuffled, and dealt out to fill the remaining slots.
+        slices = np.array_split(ids_sorted, num_batches)
+        local_parts = []
+        pooled = []
+        for piece in slices:
+            take = min(local_per_batch, len(piece))
+            local_parts.append(piece[:take])
+            pooled.append(piece[take:])
+        pool = rng.permutation(np.concatenate(pooled)) if pooled else (
+            np.empty(0, dtype=np.int64)
+        )
+        order = rng.permutation(num_batches)
+        out = []
+        cursor = 0
+        for rank, idx in enumerate(order):
+            remaining_batches = num_batches - rank
+            fill = (len(pool) - cursor) // remaining_batches
+            batch = np.concatenate(
+                [local_parts[idx], pool[cursor:cursor + fill]]
+            )
+            cursor += fill
+            out.append(rng.permutation(batch))
+        return [b for b in out if len(b)]

@@ -1,0 +1,50 @@
+"""Roofline analysis of the aggregation phase (the paper's Fig. 12).
+
+A kernel's attainable performance is ``min(peak, OI * bandwidth)`` where
+OI (operational intensity) is FLOPs per byte moved from the memory system.
+The naive aggregation sits far below the roof because its effective
+bandwidth is throttled by cache thrashing; the Memory-Aware kernel raises
+achieved performance by serving the hot streams from shared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.spec import GPUSpec, RTX3090
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on the roofline plot."""
+
+    name: str
+    operational_intensity: float
+    achieved_flops: float
+
+    def attainable_flops(self, spec: GPUSpec = RTX3090) -> float:
+        return roofline_ceiling(self.operational_intensity, spec)
+
+    @property
+    def achieved_gflops(self) -> float:
+        return self.achieved_flops / 1e9
+
+
+def roofline_ceiling(operational_intensity: float,
+                     spec: GPUSpec = RTX3090) -> float:
+    """Attainable FLOP/s at the given OI under the global-memory roof."""
+    if operational_intensity < 0:
+        raise ValueError("operational intensity must be non-negative")
+    return min(spec.peak_flops, operational_intensity * spec.global_bw)
+
+
+def point_from_compute_report(name: str, report) -> RooflinePoint:
+    """Build a roofline point from a :class:`ComputeReport`'s aggregation
+    counters. OI is taken against DRAM traffic, the roof's denominator."""
+    bytes_moved = max(1.0, report.agg_dram_bytes)
+    time = max(report.agg_time, 1e-12)
+    return RooflinePoint(
+        name=name,
+        operational_intensity=report.agg_flops / bytes_moved,
+        achieved_flops=report.agg_flops / time,
+    )

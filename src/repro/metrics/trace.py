@@ -1,0 +1,63 @@
+"""Chrome-trace export of a modeled training epoch.
+
+Converts an :class:`~repro.frameworks.base.EpochReport`'s per-iteration
+phase times into the Chrome tracing JSON format (``chrome://tracing`` /
+Perfetto): one lane per trainer GPU, one span per phase per mini-batch,
+laid out serially within each lane (the non-pipelined execution model the
+breakdown figures assume). Useful for eyeballing where an epoch's time
+goes and for diffing two frameworks' timelines.
+"""
+
+from __future__ import annotations
+
+import json
+
+PHASES = ("sample", "memory_io", "compute")
+_PHASE_COLORS = {
+    "sample": "thread_state_runnable",
+    "memory_io": "thread_state_iowait",
+    "compute": "thread_state_running",
+}
+
+
+def epoch_trace_events(report) -> list:
+    """Trace events (dicts) for ``report``; empty if it recorded none."""
+    iterations = report.extras.get("iterations", [])
+    events: list = []
+    for gpu, batches in enumerate(iterations):
+        cursor = 0.0
+        for batch_index, phase_times in enumerate(batches):
+            for phase, duration in zip(PHASES, phase_times):
+                if duration <= 0:
+                    continue
+                events.append({
+                    "name": f"{phase}[{batch_index}]",
+                    "cat": phase,
+                    "ph": "X",  # complete event
+                    "ts": cursor * 1e6,       # microseconds
+                    "dur": duration * 1e6,
+                    "pid": report.framework,
+                    "tid": f"gpu{gpu}",
+                    "cname": _PHASE_COLORS[phase],
+                    "args": {"batch": batch_index, "phase": phase},
+                })
+                cursor += duration
+    return events
+
+
+def write_chrome_trace(path, report) -> int:
+    """Write the trace JSON for ``report``; returns the event count."""
+    events = epoch_trace_events(report)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "framework": report.framework,
+            "dataset": report.dataset,
+            "model": report.model,
+            "modeled_epoch_seconds": report.epoch_time,
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return len(events)

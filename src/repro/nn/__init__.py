@@ -1,0 +1,57 @@
+"""Minimal deep-learning stack over numpy.
+
+The paper implements FastGL on PyTorch; offline, this subpackage provides
+the equivalent substrate: a reverse-mode autograd engine
+(:mod:`repro.nn.tensor`), graph-aggregation primitives whose forward and
+backward match the paper's Eq. 1 and Eq. 5 (:mod:`repro.nn.functional` —
+including the ``A3`` aggregation op the paper exposes as
+``A3.forward()``/``A3.backward()``), and the three evaluation models
+(GCN, GIN, GAT) built on per-hop sampled blocks.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.functional import (
+    a3_aggregate,
+    cross_entropy,
+    dropout,
+    edge_softmax,
+    gather_rows,
+    log_softmax,
+    relu,
+    leaky_relu,
+    segment_sum,
+)
+from repro.nn.metrics import accuracy, logits_accuracy, macro_f1
+from repro.nn.modules import Linear, Module, MLP
+from repro.nn.conv import GCNConv, GINConv, GATConv
+from repro.nn.models import GCN, GIN, GAT, build_model
+from repro.nn.optim import SGD, Adam
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "a3_aggregate",
+    "cross_entropy",
+    "dropout",
+    "edge_softmax",
+    "gather_rows",
+    "log_softmax",
+    "relu",
+    "leaky_relu",
+    "segment_sum",
+    "accuracy",
+    "logits_accuracy",
+    "macro_f1",
+    "Linear",
+    "Module",
+    "MLP",
+    "GCNConv",
+    "GINConv",
+    "GATConv",
+    "GCN",
+    "GIN",
+    "GAT",
+    "build_model",
+    "SGD",
+    "Adam",
+]

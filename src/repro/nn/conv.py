@@ -1,0 +1,122 @@
+"""GNN layers over sampled blocks: GCN, GIN and GAT convolutions.
+
+Each convolution consumes one :class:`~repro.sampling.subgraph.LayerBlock`
+and the source-node features, and produces target-node features. All three
+funnel their neighbor aggregation through :func:`repro.nn.functional.
+a3_aggregate` — the op whose memory-access pattern the paper's Memory-Aware
+kernel optimizes — so the compute cost model applies uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import (
+    a3_aggregate,
+    edge_softmax,
+    gather_rows,
+    leaky_relu,
+)
+from repro.nn.modules import Linear, MLP, Module
+from repro.nn.tensor import Tensor
+from repro.sampling.subgraph import LayerBlock
+from repro.utils.rng import ensure_rng
+
+
+def _with_self_edges(block: LayerBlock):
+    """Edge arrays extended with one self edge per target.
+
+    Valid because a block's sources always begin with its targets, so local
+    index ``i < num_dst`` denotes the same node on both sides.
+    """
+    self_idx = np.arange(block.num_dst, dtype=np.int64)
+    edge_src = np.concatenate([block.edge_src, self_idx])
+    edge_dst = np.concatenate([block.edge_dst, self_idx])
+    return edge_src, edge_dst
+
+
+class GCNConv(Module):
+    """Graph convolution: degree-normalized mean over neighbors + self.
+
+    ``h_u = W * ( (x_u + sum_{v in N(u)} x_v) / (|N(u)| + 1) )`` — the
+    sampled-graph form of Kipf & Welling's propagation, with the edge
+    weight ``w_uv = 1 / (|N(u)| + 1)`` playing Eq. 1's role.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, rng=None) -> None:
+        self.linear = Linear(in_dim, out_dim, rng=rng)
+
+    def forward(self, block: LayerBlock, x_src: Tensor) -> Tensor:
+        edge_src, edge_dst = _with_self_edges(block)
+        inv_deg = 1.0 / (block.in_degrees() + 1.0)
+        weight = Tensor(inv_deg[edge_dst].astype(np.float32))
+        h = a3_aggregate(x_src, edge_src, edge_dst, weight, block.num_dst)
+        return self.linear(h)
+
+
+class GINConv(Module):
+    """Graph isomorphism layer: ``MLP((1 + eps) * x_u + sum_v x_v)``."""
+
+    def __init__(self, in_dim: int, out_dim: int, hidden_dim: int | None = None,
+                 rng=None) -> None:
+        hidden_dim = hidden_dim if hidden_dim is not None else out_dim
+        self.mlp = MLP(in_dim, hidden_dim, out_dim, rng=rng)
+        self.eps = Tensor(np.zeros(1), requires_grad=True)
+
+    def forward(self, block: LayerBlock, x_src: Tensor) -> Tensor:
+        ones = Tensor(np.ones(block.num_edges, dtype=np.float32))
+        neigh = a3_aggregate(
+            x_src, block.edge_src, block.edge_dst, ones, block.num_dst
+        )
+        x_dst = x_src.slice_rows(block.num_dst)
+        combined = x_dst * (self.eps + 1.0) + neigh
+        return self.mlp(combined)
+
+
+class GATConv(Module):
+    """Multi-head graph attention (concatenated heads).
+
+    Per head: scores ``e_uv = LeakyReLU(a_l . z_v + a_r . z_u)`` are
+    softmax-normalized over each target's incoming edges (self edge
+    included), and the attention coefficients become the ``w_uv`` of the
+    A3 aggregation.
+    """
+
+    def __init__(self, in_dim: int, head_dim: int, num_heads: int = 8,
+                 negative_slope: float = 0.2, rng=None) -> None:
+        if num_heads <= 0:
+            raise ValueError("num_heads must be positive")
+        rng = ensure_rng(rng)
+        self.heads = [
+            Linear(in_dim, head_dim, bias=False, rng=rng)
+            for _ in range(num_heads)
+        ]
+        scale = float(np.sqrt(1.0 / head_dim))
+        self.attn_src = [
+            Tensor(rng.uniform(-scale, scale, head_dim), requires_grad=True)
+            for _ in range(num_heads)
+        ]
+        self.attn_dst = [
+            Tensor(rng.uniform(-scale, scale, head_dim), requires_grad=True)
+            for _ in range(num_heads)
+        ]
+        self.negative_slope = float(negative_slope)
+        self.head_dim = head_dim
+        self.num_heads = num_heads
+
+    def forward(self, block: LayerBlock, x_src: Tensor) -> Tensor:
+        edge_src, edge_dst = _with_self_edges(block)
+        out = None
+        for head, a_src, a_dst in zip(self.heads, self.attn_src,
+                                      self.attn_dst):
+            z = head(x_src)
+            s_src = (z * a_src).sum(axis=1)
+            s_dst = (z.slice_rows(block.num_dst) * a_dst).sum(axis=1)
+            scores = leaky_relu(
+                gather_rows(s_src, edge_src) + gather_rows(s_dst, edge_dst),
+                self.negative_slope,
+            )
+            alpha = edge_softmax(scores, edge_dst, block.num_dst)
+            h = a3_aggregate(z, edge_src, edge_dst, alpha, block.num_dst)
+            out = h if out is None else out.concat_cols(h)
+        return out

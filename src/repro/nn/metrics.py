@@ -1,0 +1,62 @@
+"""Classification metrics for evaluation runs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of exact matches."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions/labels shape mismatch")
+    if len(labels) == 0:
+        return 0.0
+    return float((predictions == labels).mean())
+
+
+def macro_f1(predictions: np.ndarray, labels: np.ndarray,
+             num_classes: int | None = None) -> float:
+    """Unweighted mean of per-class F1 scores.
+
+    Classes absent from both predictions and labels are skipped (the OGB
+    convention); returns 0 when nothing is scorable.
+    """
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions/labels shape mismatch")
+    if len(labels) == 0:
+        return 0.0
+    if num_classes is None:
+        num_classes = int(max(predictions.max(initial=0),
+                              labels.max(initial=0))) + 1
+    scores = []
+    for cls in range(num_classes):
+        predicted = predictions == cls
+        actual = labels == cls
+        true_positive = int((predicted & actual).sum())
+        if not predicted.any() and not actual.any():
+            continue
+        precision_denominator = int(predicted.sum())
+        recall_denominator = int(actual.sum())
+        precision = (true_positive / precision_denominator
+                     if precision_denominator else 0.0)
+        recall = (true_positive / recall_denominator
+                  if recall_denominator else 0.0)
+        if precision + recall == 0.0:
+            scores.append(0.0)
+        else:
+            scores.append(2 * precision * recall / (precision + recall))
+    if not scores:
+        return 0.0
+    return float(np.mean(scores))
+
+
+def logits_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Accuracy of argmax predictions from a logits matrix."""
+    logits = np.asarray(logits)
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D")
+    return accuracy(logits.argmax(axis=1), labels)

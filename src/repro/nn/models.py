@@ -1,0 +1,121 @@
+"""The paper's three evaluation models: GCN, GIN and GAT.
+
+All are built per Section 6.1: 3 layers matching the 3-hop sampling, hidden
+width 64 for GCN/GIN, and 8 attention heads of dimension 8 for GAT. A model
+consumes a :class:`~repro.sampling.subgraph.SampledSubgraph` plus the
+input-node features and emits logits for the seed nodes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.nn.conv import GATConv, GCNConv, GINConv
+from repro.nn.functional import relu, elu
+from repro.nn.modules import Module
+from repro.nn.tensor import Tensor
+from repro.sampling.subgraph import SampledSubgraph
+from repro.utils.rng import RngFactory
+
+
+class BlockwiseModel(Module):
+    """Base: one conv per sampled hop, applied deepest-block first."""
+
+    def __init__(self) -> None:
+        self.convs: list = []
+
+    def _activation(self, x: Tensor) -> Tensor:
+        return relu(x)
+
+    def forward(self, subgraph: SampledSubgraph, x_input: Tensor) -> Tensor:
+        if len(subgraph.layers) != len(self.convs):
+            raise ConfigError(
+                f"model has {len(self.convs)} layers but the subgraph was "
+                f"sampled with {len(subgraph.layers)} hops"
+            )
+        x = x_input
+        # The deepest block consumes the input features; each conv shrinks
+        # the frontier toward the seeds.
+        for i, block in enumerate(reversed(subgraph.layers)):
+            x = self.convs[i](block, x)
+            if i < len(self.convs) - 1:
+                x = self._activation(x)
+        return x
+
+
+class GCN(BlockwiseModel):
+    """3-layer GCN, hidden width 64 (paper Section 6.1)."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, out_dim: int,
+                 num_layers: int = 3, seed: int = 0) -> None:
+        super().__init__()
+        rngs = RngFactory(seed)
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [out_dim]
+        self.convs = [
+            GCNConv(dims[i], dims[i + 1], rng=rngs.child(f"conv{i}"))
+            for i in range(num_layers)
+        ]
+
+
+class GIN(BlockwiseModel):
+    """3-layer GIN with 2-layer MLP updates, hidden width 64."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, out_dim: int,
+                 num_layers: int = 3, seed: int = 0) -> None:
+        super().__init__()
+        rngs = RngFactory(seed)
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [out_dim]
+        self.convs = [
+            GINConv(dims[i], dims[i + 1], hidden_dim=hidden_dim,
+                    rng=rngs.child(f"conv{i}"))
+            for i in range(num_layers)
+        ]
+
+
+class GAT(BlockwiseModel):
+    """3-layer GAT: 8 heads x 8 dims hidden (paper Section 6.1)."""
+
+    def __init__(self, in_dim: int, out_dim: int, num_heads: int = 8,
+                 head_dim: int = 8, num_layers: int = 3, seed: int = 0) -> None:
+        super().__init__()
+        rngs = RngFactory(seed)
+        hidden = num_heads * head_dim
+        self.convs = []
+        for i in range(num_layers):
+            layer_in = in_dim if i == 0 else hidden
+            if i == num_layers - 1:
+                # Final layer: single "head" of width out_dim.
+                self.convs.append(
+                    GATConv(layer_in, out_dim, num_heads=1,
+                            rng=rngs.child(f"conv{i}"))
+                )
+            else:
+                self.convs.append(
+                    GATConv(layer_in, head_dim, num_heads=num_heads,
+                            rng=rngs.child(f"conv{i}"))
+                )
+
+    def _activation(self, x: Tensor) -> Tensor:
+        return elu(x)
+
+
+#: Hidden width used by the paper for GCN and GIN.
+PAPER_HIDDEN_DIM = 64
+
+
+def build_model(
+    name: str,
+    in_dim: int,
+    out_dim: int,
+    hidden_dim: int = PAPER_HIDDEN_DIM,
+    num_layers: int = 3,
+    seed: int = 0,
+) -> BlockwiseModel:
+    """Factory for the paper's models by name ('gcn', 'gin', 'gat')."""
+    name = name.lower()
+    if name == "gcn":
+        return GCN(in_dim, hidden_dim, out_dim, num_layers, seed)
+    if name == "gin":
+        return GIN(in_dim, hidden_dim, out_dim, num_layers, seed)
+    if name == "gat":
+        return GAT(in_dim, out_dim, num_layers=num_layers, seed=seed)
+    raise ConfigError(f"unknown model {name!r}; expected gcn, gin or gat")

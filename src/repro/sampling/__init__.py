@@ -1,0 +1,34 @@
+"""Subgraph sampling: samplers, sampled-subgraph blocks, and the ID map.
+
+The sample phase of each iteration (Fig. 2 of the paper) has two steps:
+drawing the subgraph, and the *ID map* — converting every sampled node's
+global ID to a consecutive local ID. :mod:`repro.sampling.idmap` implements
+both the DGL-style three-kernel ID map (whose per-unique-ID thread
+synchronization is the bottleneck the paper identifies) and FastGL's
+Fused-Map (Algorithm 2).
+"""
+
+from repro.sampling.subgraph import LayerBlock, SampledSubgraph
+from repro.sampling.base import Sampler
+from repro.sampling.neighbor import NeighborSampler
+from repro.sampling.random_walk import RandomWalkSampler
+from repro.sampling.idmap import (
+    BaselineIdMap,
+    CpuIdMap,
+    FusedIdMap,
+    IdMap,
+    IdMapReport,
+)
+
+__all__ = [
+    "LayerBlock",
+    "SampledSubgraph",
+    "Sampler",
+    "NeighborSampler",
+    "RandomWalkSampler",
+    "BaselineIdMap",
+    "CpuIdMap",
+    "FusedIdMap",
+    "IdMap",
+    "IdMapReport",
+]

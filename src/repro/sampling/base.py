@@ -1,0 +1,47 @@
+"""Sampler protocol shared by all sampling algorithms."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.config import CostModelConfig, DEFAULT_COST_MODEL
+from repro.sampling.subgraph import SampledSubgraph
+
+
+class Sampler(ABC):
+    """Draws one :class:`SampledSubgraph` per mini-batch.
+
+    ``device`` ("gpu" or "cpu") selects the sampling-throughput constant;
+    the ID map's own device comes from the injected ID-map strategy.
+    """
+
+    device = "gpu"
+
+    @abstractmethod
+    def sample(self, seeds: np.ndarray) -> SampledSubgraph:
+        """Sample a subgraph rooted at ``seeds``."""
+
+    def modeled_sample_time(
+        self,
+        subgraph: SampledSubgraph,
+        cost: CostModelConfig = DEFAULT_COST_MODEL,
+    ) -> float:
+        """Seconds for the *draw* part of the sample phase (excl. ID map)."""
+        if self.device == "cpu":
+            throughput = cost.cpu_sample_edges_per_s
+        else:
+            throughput = cost.gpu_sample_edges_per_s
+        hops = max(1, subgraph.num_layers)
+        return (subgraph.num_sampled_edges / throughput
+                + hops * cost.sample_hop_overhead_s)
+
+    def modeled_total_sample_time(
+        self,
+        subgraph: SampledSubgraph,
+        cost: CostModelConfig = DEFAULT_COST_MODEL,
+    ) -> float:
+        """Draw time plus ID-map time — the full sample phase."""
+        return (self.modeled_sample_time(subgraph, cost)
+                + subgraph.idmap_report.modeled_time(cost))

@@ -1,0 +1,26 @@
+"""ID-map implementations (global node ID -> consecutive local ID).
+
+* :class:`BaselineIdMap` — the DGL-style three-kernel pipeline of the
+  paper's Fig. 4: build hash table, assign local IDs (requires thread
+  synchronization per unique ID), translate.
+* :class:`FusedIdMap` — FastGL's Fused-Map (Algorithm 2): construction and
+  local-ID assignment fused into one kernel using atomicCAS + atomicAdd,
+  with zero synchronization events.
+* :class:`CpuIdMap` — a host-side map (PyG-style).
+
+All three produce identical mappings; they differ only in the counted
+device work, which the cost model converts to modeled seconds.
+"""
+
+from repro.sampling.idmap.base import IdMap, IdMapReport, MapResult
+from repro.sampling.idmap.baseline import BaselineIdMap, CpuIdMap
+from repro.sampling.idmap.fused import FusedIdMap
+
+__all__ = [
+    "IdMap",
+    "IdMapReport",
+    "MapResult",
+    "BaselineIdMap",
+    "CpuIdMap",
+    "FusedIdMap",
+]

@@ -1,0 +1,102 @@
+"""Shared ID-map interface and work accounting."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CostModelConfig, DEFAULT_COST_MODEL
+
+
+@dataclass(frozen=True)
+class IdMapReport:
+    """Counted device work of one (or several, when summed) ID maps."""
+
+    num_input_ids: int = 0
+    num_unique: int = 0
+    #: atomicCAS executions (hash-table key insertions, incl. duplicates).
+    cas_ops: int = 0
+    #: Extra CAS retries from linear probing past occupied slots.
+    probe_retries: int = 0
+    #: atomicAdd executions (Fused-Map local-ID allocation).
+    add_ops: int = 0
+    #: Thread-synchronization events (baseline step-2; zero for Fused-Map).
+    sync_events: int = 0
+    #: Hash-table reads in the translate kernel.
+    lookups: int = 0
+    kernel_launches: int = 0
+    #: "gpu" or "cpu"; decides which throughput constants apply.
+    device: str = "gpu"
+
+    def __add__(self, other: "IdMapReport") -> "IdMapReport":
+        if self.device != other.device:
+            raise ValueError("cannot sum reports from different devices")
+        return IdMapReport(
+            num_input_ids=self.num_input_ids + other.num_input_ids,
+            num_unique=self.num_unique + other.num_unique,
+            cas_ops=self.cas_ops + other.cas_ops,
+            probe_retries=self.probe_retries + other.probe_retries,
+            add_ops=self.add_ops + other.add_ops,
+            sync_events=self.sync_events + other.sync_events,
+            lookups=self.lookups + other.lookups,
+            kernel_launches=self.kernel_launches + other.kernel_launches,
+            device=self.device,
+        )
+
+    def modeled_time(self, cost: CostModelConfig = DEFAULT_COST_MODEL) -> float:
+        """Seconds of ID-map work under the calibrated cost model."""
+        if self.device == "cpu":
+            return self.num_input_ids / cost.cpu_idmap_ids_per_s
+        atomic_ops = self.cas_ops + self.probe_retries + self.add_ops
+        return (
+            self.kernel_launches * cost.kernel_launch_s
+            + atomic_ops / cost.atomic_ops_per_s
+            + self.sync_events * cost.sync_cost_per_unique_s
+            + self.lookups / cost.table_lookups_per_s
+        )
+
+
+@dataclass
+class MapResult:
+    """Output of one ID map invocation.
+
+    ``unique_globals[local]`` is the global ID of local node ``local``;
+    ``locals_of_input[i]`` is the local ID assigned to ``input_ids[i]``.
+    """
+
+    unique_globals: np.ndarray
+    locals_of_input: np.ndarray
+    report: IdMapReport
+
+
+def first_occurrence_unique(ids: np.ndarray) -> tuple:
+    """``(unique, inverse)`` with unique ordered by first occurrence.
+
+    This is the mapping a deterministic sequential ID map produces; all GPU
+    variants here emit the same mapping (the concurrency harness in
+    :mod:`repro.sampling.idmap.fused` demonstrates that *any* interleaving
+    yields a valid bijection, merely a permuted one).
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    unique_sorted, first_idx, inverse_sorted = np.unique(
+        ids, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first_idx, kind="stable")
+    unique = unique_sorted[order]
+    # rank[k] = local id of unique_sorted[k]
+    rank = np.empty_like(order)
+    rank[order] = np.arange(len(order))
+    inverse = rank[inverse_sorted]
+    return unique, inverse
+
+
+class IdMap(ABC):
+    """An ID-map strategy; stateless apart from configuration."""
+
+    device = "gpu"
+
+    @abstractmethod
+    def map(self, ids: np.ndarray) -> MapResult:
+        """Map ``ids`` (with duplicates) to consecutive local IDs."""

@@ -1,0 +1,14 @@
+"""Discrete-event machinery for phase pipelining.
+
+GNNLab factors sampling and training onto different GPUs and runs them as a
+producer/consumer pipeline; FastGL prefetches the next subgraph's topology
+under the current batch's compute. Both overlaps are modeled here, either
+with the tiny event engine (:mod:`repro.sim.events`) or the closed-form
+two-stage pipeline (:mod:`repro.sim.pipeline`) — the tests check they
+agree.
+"""
+
+from repro.sim.events import EventLoop
+from repro.sim.pipeline import two_stage_makespan, two_stage_makespan_sim
+
+__all__ = ["EventLoop", "two_stage_makespan", "two_stage_makespan_sim"]

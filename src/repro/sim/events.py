@@ -1,0 +1,108 @@
+"""A minimal discrete-event simulation engine.
+
+Processes are generators that ``yield`` either a float (sleep that many
+seconds) or a :class:`Resource` request obtained from ``resource.acquire()``
+(wait until granted). The loop advances virtual time through a heap of
+pending events. Small by design — just enough to model producer/consumer
+pipelines over exclusive resources (a sampler GPU, a PCIe link).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Generator
+
+
+class Resource:
+    """An exclusive-use resource with a FIFO wait queue."""
+
+    def __init__(self, loop: "EventLoop", name: str = "") -> None:
+        self._loop = loop
+        self.name = name
+        self._busy = False
+        self._queue: deque = deque()
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def acquire(self) -> "_Acquire":
+        return _Acquire(self)
+
+    def release(self) -> None:
+        if not self._busy:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        self._busy = False
+        if self._queue:
+            process = self._queue.popleft()
+            self._busy = True
+            self._loop._schedule(0.0, process)
+
+    def _try_acquire(self, process) -> bool:
+        if not self._busy:
+            self._busy = True
+            return True
+        self._queue.append(process)
+        return False
+
+
+class _Acquire:
+    """Yielded by processes to request a resource."""
+
+    def __init__(self, resource: Resource) -> None:
+        self.resource = resource
+
+
+class EventLoop:
+    """Heap-driven virtual-time event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list = []
+        self._counter = 0  # tie-breaker for deterministic ordering
+
+    def resource(self, name: str = "") -> Resource:
+        return Resource(self, name)
+
+    def spawn(self, process: Generator) -> None:
+        """Register a generator process to start at the current time."""
+        self._schedule(0.0, process)
+
+    def _schedule(self, delay: float, process: Generator) -> None:
+        if delay < 0:
+            raise ValueError("negative delay")
+        self._counter += 1
+        heapq.heappush(self._heap, (self.now + delay, self._counter, process))
+
+    def run(self, until: float | None = None) -> float:
+        """Run until no events remain (or virtual time passes ``until``).
+
+        Returns the final virtual time.
+        """
+        while self._heap:
+            time, _, process = heapq.heappop(self._heap)
+            if until is not None and time > until:
+                heapq.heappush(self._heap, (time, self._counter, process))
+                self.now = until
+                return self.now
+            self.now = time
+            self._step(process)
+        return self.now
+
+    def _step(self, process: Generator) -> None:
+        try:
+            request = next(process)
+        except StopIteration:
+            return
+        if isinstance(request, (int, float)):
+            self._schedule(float(request), process)
+        elif isinstance(request, _Acquire):
+            if request.resource._try_acquire(process):
+                self._schedule(0.0, process)
+            # else: the resource queued the process; it resumes on release.
+        else:
+            raise TypeError(
+                f"process yielded {type(request).__name__}; expected a "
+                "delay (float) or resource.acquire()"
+            )

@@ -1,0 +1,31 @@
+"""Memory-IO phase: feature caches and loaders.
+
+The paper's baselines reduce host->device traffic with software caches
+(PaGraph: degree-ranked; GNNLab: presample-ranked); FastGL uses the Match
+process instead (plus a cache when memory remains). This subpackage
+implements all of those strategies over one byte-accounted interface.
+"""
+
+from repro.transfer.cache import (
+    DegreeCachePolicy,
+    PresampleCachePolicy,
+    StaticFeatureCache,
+)
+from repro.transfer.loader import (
+    CachedLoader,
+    FeatureLoader,
+    MatchLoader,
+    NaiveLoader,
+    TransferReport,
+)
+
+__all__ = [
+    "DegreeCachePolicy",
+    "PresampleCachePolicy",
+    "StaticFeatureCache",
+    "CachedLoader",
+    "FeatureLoader",
+    "MatchLoader",
+    "NaiveLoader",
+    "TransferReport",
+]

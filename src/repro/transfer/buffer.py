@@ -1,0 +1,64 @@
+"""Functional device feature buffer for the Match process.
+
+:class:`ResidentFeatureBuffer` emulates the GPU-resident feature buffer
+the Match strategy reuses: across consecutive mini-batches it keeps the
+previous batch's rows and *fetches from the host only the difference set*,
+assembling the new batch's feature matrix from reused + freshly-gathered
+rows. This is the functional counterpart of the byte accounting in
+:class:`~repro.transfer.loader.MatchLoader` — tests assert the assembled
+matrix is bit-identical to a direct gather, i.e. Match is
+exactness-preserving (the premise of the paper's Fig. 16).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.match import MatchState
+from repro.graph.features import FeatureStore
+
+
+class ResidentFeatureBuffer:
+    """Keeps the last mini-batch's feature rows 'on device'."""
+
+    def __init__(self, store: FeatureStore) -> None:
+        self.store = store
+        self._state = MatchState()
+        #: Resident rows, keyed by global node ID.
+        self._rows: dict = {}
+        self.host_rows_fetched = 0
+        self.rows_reused = 0
+
+    def reset(self) -> None:
+        """Flush residency (epoch boundary)."""
+        self._state.reset()
+        self._rows = {}
+
+    def fetch(self, input_nodes: np.ndarray) -> np.ndarray:
+        """Feature matrix for ``input_nodes`` (in their given order),
+        reusing resident rows and fetching only the difference set."""
+        input_nodes = np.asarray(input_nodes, dtype=np.int64)
+        result = self._state.step(input_nodes)
+        fresh = {}
+        if len(result.load_ids):
+            fetched = self.store.gather(result.load_ids)
+            fresh = {
+                int(node): fetched[i]
+                for i, node in enumerate(result.load_ids)
+            }
+        self.host_rows_fetched += len(result.load_ids)
+        self.rows_reused += result.num_reused
+
+        out = np.empty((len(input_nodes), self.store.dim), dtype=np.float32)
+        next_rows = {}
+        for i, node in enumerate(input_nodes):
+            node = int(node)
+            row = fresh.get(node)
+            if row is None:
+                row = self._rows[node]
+            out[i] = row
+            next_rows[node] = out[i]
+        # The new batch's buffer replaces the old one (same memory the
+        # previous batch needed — no extra device cost).
+        self._rows = next_rows
+        return out

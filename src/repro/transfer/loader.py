@@ -1,0 +1,153 @@
+"""Feature loaders — the memory-IO phase strategies.
+
+Every loader answers the same question per mini-batch: *which feature rows
+cross PCIe?* The answers:
+
+* :class:`NaiveLoader` — all input nodes (PyG/DGL).
+* :class:`CachedLoader` — cache misses only (PaGraph/GNNLab).
+* :class:`MatchLoader` — rows not resident from the previous batch
+  (FastGL's Match), optionally consulting a cache for the remainder
+  (FastGL when spare memory exists, Section 5 of the paper).
+
+Loaders count bytes; the PCIe link model converts bytes to seconds. When a
+framework actually trains (Fig. 16) the loader also gathers the real
+feature values.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CostModelConfig, DEFAULT_COST_MODEL
+from repro.core.match import MatchState
+from repro.gpu.pcie import PCIeLink
+from repro.graph.features import FeatureStore
+from repro.sampling.subgraph import SampledSubgraph
+from repro.transfer.cache import StaticFeatureCache
+
+
+@dataclass
+class TransferReport:
+    """Byte accounting of one mini-batch's memory-IO phase."""
+
+    num_wanted: int = 0
+    num_loaded: int = 0
+    num_reused: int = 0
+    num_cache_hits: int = 0
+    feature_bytes: int = 0
+    structure_bytes: int = 0
+    #: Number of discrete host->device transfers (latency accounting).
+    num_transfers: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.feature_bytes + self.structure_bytes
+
+    def merge(self, other: "TransferReport") -> "TransferReport":
+        self.num_wanted += other.num_wanted
+        self.num_loaded += other.num_loaded
+        self.num_reused += other.num_reused
+        self.num_cache_hits += other.num_cache_hits
+        self.feature_bytes += other.feature_bytes
+        self.structure_bytes += other.structure_bytes
+        self.num_transfers += other.num_transfers
+        return self
+
+    def modeled_time(
+        self,
+        link: PCIeLink,
+        cost: CostModelConfig = DEFAULT_COST_MODEL,
+        concurrent_links: int = 1,
+    ) -> float:
+        """Seconds on the host link (gather + DMA) for this report."""
+        if self.total_bytes == 0:
+            return 0.0
+        gather = self.feature_bytes / cost.host_gather_bytes_per_s
+        bw = link.effective_bandwidth(concurrent_links)
+        return (gather + self.num_transfers * link.latency_s
+                + self.total_bytes / bw)
+
+
+class FeatureLoader(ABC):
+    """Per-mini-batch feature-loading strategy."""
+
+    def __init__(self, store: FeatureStore) -> None:
+        self.store = store
+
+    def reset_epoch(self) -> None:
+        """Hook: drop any cross-batch state at epoch boundaries."""
+
+    @abstractmethod
+    def plan(self, subgraph: SampledSubgraph) -> TransferReport:
+        """Decide what to load for ``subgraph`` (byte accounting only)."""
+
+    def load(self, subgraph: SampledSubgraph) -> tuple:
+        """Like :meth:`plan` but also gathers the real feature rows for the
+        *whole* input set (training needs all rows regardless of how many
+        crossed PCIe)."""
+        report = self.plan(subgraph)
+        features = self.store.gather(subgraph.input_nodes)
+        return features, report
+
+    def _base_report(self, subgraph: SampledSubgraph) -> TransferReport:
+        return TransferReport(
+            num_wanted=subgraph.num_nodes,
+            structure_bytes=subgraph.structure_bytes(),
+            num_transfers=1,
+        )
+
+
+class NaiveLoader(FeatureLoader):
+    """Load every input node's features (DGL/PyG behaviour)."""
+
+    def plan(self, subgraph: SampledSubgraph) -> TransferReport:
+        report = self._base_report(subgraph)
+        report.num_loaded = subgraph.num_nodes
+        report.feature_bytes = subgraph.num_nodes * self.store.bytes_per_node
+        return report
+
+
+class CachedLoader(FeatureLoader):
+    """Load only cache misses (PaGraph / GNNLab)."""
+
+    def __init__(self, store: FeatureStore, cache: StaticFeatureCache) -> None:
+        super().__init__(store)
+        self.cache = cache
+
+    def plan(self, subgraph: SampledSubgraph) -> TransferReport:
+        report = self._base_report(subgraph)
+        hits, misses = self.cache.partition(subgraph.input_nodes)
+        report.num_cache_hits = len(hits)
+        report.num_loaded = len(misses)
+        report.feature_bytes = len(misses) * self.store.bytes_per_node
+        return report
+
+
+class MatchLoader(FeatureLoader):
+    """FastGL's Match: reuse the previous batch's resident rows; load the
+    difference. With an optional cache, rows that are neither resident nor
+    cached are the only PCIe traffic."""
+
+    def __init__(self, store: FeatureStore,
+                 cache: StaticFeatureCache | None = None) -> None:
+        super().__init__(store)
+        self.cache = cache
+        self._state = MatchState()
+
+    def reset_epoch(self) -> None:
+        self._state.reset()
+
+    def plan(self, subgraph: SampledSubgraph) -> TransferReport:
+        report = self._base_report(subgraph)
+        result = self._state.step(subgraph.input_nodes)
+        report.num_reused = result.num_reused
+        to_load = result.load_ids
+        if self.cache is not None:
+            hits, to_load = self.cache.partition(to_load)
+            report.num_cache_hits = len(hits)
+        report.num_loaded = len(to_load)
+        report.feature_bytes = len(to_load) * self.store.bytes_per_node
+        return report

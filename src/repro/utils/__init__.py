@@ -1,0 +1,20 @@
+"""Small shared utilities: deterministic RNG helpers and text reporting."""
+
+from repro.utils.rng import RngFactory, ensure_rng
+from repro.utils.format import (
+    format_bytes,
+    format_seconds,
+    format_si,
+    ascii_table,
+    ascii_series,
+)
+
+__all__ = [
+    "RngFactory",
+    "ensure_rng",
+    "format_bytes",
+    "format_seconds",
+    "format_si",
+    "ascii_table",
+    "ascii_series",
+]

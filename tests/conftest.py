@@ -1,0 +1,31 @@
+"""Shared test fixtures.
+
+Unit tests run on purpose-built small graphs (seconds, not minutes); the
+registry-scale datasets are exercised by the benchmark suite. Non-fixture
+helpers live in ``helpers.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from helpers import make_spec
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import Dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> Dataset:
+    """A 2k-node dataset shared (read-only) across the whole test run."""
+    return Dataset(make_spec(), seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_dataset) -> CSRGraph:
+    return tiny_dataset.graph
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)

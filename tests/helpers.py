@@ -1,0 +1,55 @@
+"""Shared non-fixture test helpers (importable from any test module)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.datasets import DatasetSpec, PaperScale
+
+
+def make_spec(
+    name: str = "tiny",
+    num_nodes: int = 2000,
+    avg_degree: float = 8.0,
+    feature_dim: int = 16,
+    num_classes: int = 5,
+    train_fraction: float = 0.3,
+    left_memory_bytes: int = 1 << 30,
+) -> DatasetSpec:
+    """A small DatasetSpec with plausible paper-scale metadata."""
+    return DatasetSpec(
+        name=name,
+        num_nodes=num_nodes,
+        avg_degree=avg_degree,
+        feature_dim=feature_dim,
+        num_classes=num_classes,
+        train_fraction=train_fraction,
+        paper=PaperScale(
+            num_nodes=num_nodes * 100,
+            num_edges=int(num_nodes * avg_degree * 50),
+            left_memory_bytes=left_memory_bytes,
+        ),
+    )
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-2) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` at ``x``."""
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = fn(x.astype(np.float32))
+        x[idx] = orig - eps
+        lo = fn(x.astype(np.float32))
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def assert_grad_close(analytic: np.ndarray, numeric: np.ndarray,
+                      rtol: float = 5e-2, atol: float = 5e-3) -> None:
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

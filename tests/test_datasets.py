@@ -1,0 +1,86 @@
+"""Tests for the dataset registry and scaling logic."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import DATASETS, Dataset, get_dataset
+from helpers import make_spec
+
+
+class TestRegistry:
+    def test_all_five_paper_datasets_present(self):
+        assert set(DATASETS) == {
+            "reddit", "products", "mag", "igb", "papers100m"
+        }
+
+    def test_feature_dims_match_table6(self):
+        dims = {name: spec.feature_dim for name, spec in DATASETS.items()}
+        assert dims == {
+            "reddit": 602, "products": 200, "mag": 100,
+            "igb": 1024, "papers100m": 128,
+        }
+
+    def test_class_counts_match_table6(self):
+        classes = {name: spec.num_classes for name, spec in DATASETS.items()}
+        assert classes == {
+            "reddit": 41, "products": 47, "mag": 8,
+            "igb": 19, "papers100m": 172,
+        }
+
+    def test_get_dataset_memoized(self):
+        a = get_dataset("reddit", seed=0)
+        b = get_dataset("reddit", seed=0)
+        assert a is b
+
+    def test_get_dataset_unknown(self):
+        with pytest.raises(KeyError, match="available"):
+            get_dataset("nope")
+
+
+class TestDataset:
+    def test_construction(self, tiny_dataset):
+        ds = tiny_dataset
+        assert ds.num_nodes == 2000
+        assert ds.feature_dim == 16
+        assert len(ds.labels) == ds.num_nodes
+        assert len(ds.train_ids) == 600
+        assert np.all(np.diff(ds.train_ids) > 0)  # sorted unique
+
+    def test_labels_are_communities(self, tiny_dataset):
+        assert set(np.unique(tiny_dataset.labels)) <= set(range(5))
+
+    def test_cache_budget_preserves_left_ratio(self):
+        ds = Dataset(make_spec(left_memory_bytes=0), seed=0)
+        assert ds.cache_budget_bytes() == 0
+        ds2 = Dataset(make_spec(left_memory_bytes=10**15), seed=0)
+        # Capped at the full table.
+        assert ds2.cache_budget_bytes() == ds2.feature_table_bytes()
+
+    def test_cache_budget_ratio_math(self, tiny_dataset):
+        ratio = tiny_dataset.left_memory_ratio()
+        expected = (tiny_dataset.spec.paper.left_memory_bytes
+                    / tiny_dataset.paper_feature_table_bytes())
+        assert ratio == pytest.approx(expected)
+
+    def test_with_feature_dim(self, tiny_dataset):
+        wide = tiny_dataset.with_feature_dim(64)
+        assert wide.feature_dim == 64
+        assert wide.graph is tiny_dataset.graph
+        np.testing.assert_array_equal(wide.labels, tiny_dataset.labels)
+        assert tiny_dataset.feature_dim == 16  # original untouched
+
+    def test_materialize_features(self):
+        ds = Dataset(make_spec(num_nodes=300), seed=1)
+        before = ds.features.gather(np.arange(10))
+        ds.materialize_features()
+        after = ds.features.gather(np.arange(10))
+        np.testing.assert_allclose(before, after)
+
+    def test_same_seed_reproducible(self):
+        a = Dataset(make_spec(), seed=3)
+        b = Dataset(make_spec(), seed=3)
+        np.testing.assert_array_equal(a.graph.indices, b.graph.indices)
+        np.testing.assert_array_equal(a.train_ids, b.train_ids)
+
+    def test_scale_property(self, tiny_dataset):
+        assert tiny_dataset.spec.scale == pytest.approx(1 / 100)

@@ -1,0 +1,94 @@
+"""Tests for the feature stores."""
+
+import numpy as np
+import pytest
+
+from repro.graph.features import (
+    HashFeatureStore,
+    MaterializedFeatureStore,
+    PlantedFeatureStore,
+)
+
+
+class TestHashFeatureStore:
+    def test_deterministic(self):
+        store = HashFeatureStore(100, 8, seed=3)
+        a = store.gather(np.array([5, 9]))
+        b = store.gather(np.array([5, 9]))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rows_differ(self):
+        store = HashFeatureStore(100, 8, seed=3)
+        rows = store.gather(np.arange(50))
+        assert len(np.unique(rows.round(6), axis=0)) == 50
+
+    def test_bounded_and_centered(self):
+        store = HashFeatureStore(1000, 32, seed=1)
+        rows = store.gather(np.arange(1000))
+        assert rows.min() >= -0.5 and rows.max() <= 0.5
+        assert abs(rows.mean()) < 0.02
+
+    def test_bytes_accounting(self):
+        store = HashFeatureStore(10, 16)
+        assert store.bytes_per_node == 64
+        assert store.total_bytes == 640
+
+    def test_out_of_range(self):
+        store = HashFeatureStore(10, 4)
+        with pytest.raises(IndexError):
+            store.gather(np.array([10]))
+        with pytest.raises(IndexError):
+            store.gather(np.array([-1]))
+
+    def test_seed_changes_features(self):
+        a = HashFeatureStore(10, 4, seed=0).gather(np.arange(10))
+        b = HashFeatureStore(10, 4, seed=1).gather(np.arange(10))
+        assert not np.allclose(a, b)
+
+
+class TestMaterializedFeatureStore:
+    def test_gather_is_table_rows(self):
+        table = np.arange(12, dtype=np.float32).reshape(4, 3)
+        store = MaterializedFeatureStore(table)
+        np.testing.assert_array_equal(store.gather(np.array([2, 0])),
+                                      table[[2, 0]])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            MaterializedFeatureStore(np.zeros(5))
+
+
+class TestPlantedFeatureStore:
+    def test_label_correlation(self):
+        """Same-class rows are closer to their centroid than other
+        centroids on average — the learnable signal."""
+        labels = np.repeat(np.arange(4), 50)
+        store = PlantedFeatureStore(labels, dim=16, noise=0.5, seed=0)
+        rows = store.gather(np.arange(200))
+        dists = np.linalg.norm(
+            rows[:, None, :] - store.centroids[None, :, :], axis=2
+        )
+        own = dists[np.arange(200), labels]
+        other = (dists.sum(axis=1) - own) / 3
+        assert (own < other).mean() > 0.8
+
+    def test_deterministic(self):
+        labels = np.zeros(10, dtype=np.int64)
+        a = PlantedFeatureStore(labels, 8, seed=2).gather(np.arange(10))
+        b = PlantedFeatureStore(labels, 8, seed=2).gather(np.arange(10))
+        np.testing.assert_array_equal(a, b)
+
+    def test_materialize_equals_gather(self):
+        labels = np.array([0, 1, 1, 2])
+        store = PlantedFeatureStore(labels, 6, seed=5)
+        mat = store.materialize(chunk=3)
+        np.testing.assert_allclose(mat.gather(np.arange(4)),
+                                   store.gather(np.arange(4)))
+
+    def test_noise_scales_spread(self):
+        labels = np.zeros(100, dtype=np.int64)
+        quiet = PlantedFeatureStore(labels, 8, noise=0.1, seed=1)
+        loud = PlantedFeatureStore(labels, 8, noise=2.0, seed=1)
+        sq = quiet.gather(np.arange(100)).std()
+        sl = loud.gather(np.arange(100)).std()
+        assert sl > 3 * sq

@@ -1,0 +1,223 @@
+"""Tests for the graph-aware autograd ops (Eq. 1 / Eq. 5 semantics)."""
+
+import numpy as np
+import pytest
+
+from helpers import assert_grad_close, numerical_gradient
+from repro.nn.functional import (
+    a3_aggregate,
+    cross_entropy,
+    dropout,
+    edge_softmax,
+    elu,
+    gather_rows,
+    leaky_relu,
+    log_softmax,
+    relu,
+    segment_sum,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestGatherSegment:
+    def test_gather_rows_forward(self, rng):
+        x = Tensor(rng.random((5, 3), dtype=np.float32))
+        idx = np.array([4, 0, 0])
+        out = gather_rows(x, idx)
+        np.testing.assert_allclose(out.data, x.data[idx])
+
+    def test_gather_rows_backward_scatter_adds(self):
+        x = Tensor(np.zeros((3, 2), dtype=np.float32), requires_grad=True)
+        gather_rows(x, np.array([1, 1, 2])).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0, 0], [2, 2], [1, 1]])
+
+    def test_segment_sum_forward(self):
+        x = Tensor(np.array([[1.0], [2.0], [3.0]], dtype=np.float32))
+        out = segment_sum(x, np.array([0, 0, 1]), num_segments=3)
+        np.testing.assert_allclose(out.data, [[3.0], [3.0], [0.0]])
+
+    def test_segment_sum_backward(self):
+        x = Tensor(np.ones((3, 2), dtype=np.float32), requires_grad=True)
+        out = segment_sum(x, np.array([0, 1, 1]), num_segments=2)
+        (out * Tensor(np.array([[1.0, 1.0], [5.0, 5.0]]))).sum().backward()
+        np.testing.assert_allclose(x.grad, [[1, 1], [5, 5], [5, 5]])
+
+
+class TestA3Aggregate:
+    def test_eq1_forward(self):
+        """h_u = sum_{v in N(u)} w_uv x_v, exactly."""
+        x = Tensor(np.array([[1.0, 0.0], [0.0, 1.0], [2.0, 2.0]],
+                            dtype=np.float32))
+        w = Tensor(np.array([0.5, 2.0, 1.0], dtype=np.float32))
+        out = a3_aggregate(x, np.array([0, 1, 2]), np.array([0, 0, 1]), w, 2)
+        np.testing.assert_allclose(out.data, [[0.5, 2.0], [2.0, 2.0]])
+
+    def test_gradcheck_features_and_weights(self, rng):
+        num_src, num_dst, num_edges, dim = 6, 3, 10, 4
+        edge_src = rng.integers(0, num_src, num_edges)
+        edge_dst = rng.integers(0, num_dst, num_edges)
+        x0 = rng.random((num_src, dim), dtype=np.float32)
+        w0 = rng.random(num_edges, dtype=np.float32)
+
+        x = Tensor(x0, requires_grad=True)
+        w = Tensor(w0, requires_grad=True)
+        (a3_aggregate(x, edge_src, edge_dst, w, num_dst) ** 2.0)\
+            .sum().backward()
+
+        def fx(arr):
+            return float(
+                (a3_aggregate(Tensor(arr), edge_src, edge_dst,
+                              Tensor(w0), num_dst) ** 2.0).sum().data
+            )
+
+        def fw(arr):
+            return float(
+                (a3_aggregate(Tensor(x0), edge_src, edge_dst,
+                              Tensor(arr), num_dst) ** 2.0).sum().data
+            )
+
+        assert_grad_close(x.grad, numerical_gradient(fx, x0))
+        assert_grad_close(w.grad, numerical_gradient(fw, w0))
+
+    def test_length_mismatch(self):
+        x = Tensor(np.zeros((2, 2)))
+        w = Tensor(np.zeros(3))
+        with pytest.raises(ValueError):
+            a3_aggregate(x, np.array([0]), np.array([0]), w, 1)
+
+    def test_isolated_target_zero(self):
+        x = Tensor(np.ones((2, 2), dtype=np.float32))
+        w = Tensor(np.ones(1, dtype=np.float32))
+        out = a3_aggregate(x, np.array([0]), np.array([0]), w, num_dst=3)
+        np.testing.assert_allclose(out.data[1:], 0.0)
+
+
+class TestEdgeSoftmax:
+    def test_sums_to_one_per_target(self, rng):
+        scores = Tensor(rng.normal(size=12).astype(np.float32))
+        edge_dst = rng.integers(0, 4, 12)
+        alpha = edge_softmax(scores, edge_dst, 4)
+        sums = np.zeros(4)
+        np.add.at(sums, edge_dst, alpha.data)
+        present = np.unique(edge_dst)
+        np.testing.assert_allclose(sums[present], 1.0, rtol=1e-5)
+
+    def test_single_edge_is_one(self):
+        alpha = edge_softmax(Tensor(np.array([3.7], dtype=np.float32)),
+                             np.array([0]), 1)
+        np.testing.assert_allclose(alpha.data, [1.0])
+
+    def test_stability_with_large_scores(self):
+        scores = Tensor(np.array([1000.0, 1001.0], dtype=np.float32))
+        alpha = edge_softmax(scores, np.array([0, 0]), 1)
+        assert np.isfinite(alpha.data).all()
+        np.testing.assert_allclose(alpha.data.sum(), 1.0, rtol=1e-5)
+
+    def test_gradcheck(self, rng):
+        s0 = rng.normal(size=8).astype(np.float32)
+        edge_dst = np.array([0, 0, 0, 1, 1, 2, 2, 2])
+        coeff = rng.random(8).astype(np.float32)
+
+        s = Tensor(s0, requires_grad=True)
+        (edge_softmax(s, edge_dst, 3) * Tensor(coeff)).sum().backward()
+
+        def f(arr):
+            return float(
+                (edge_softmax(Tensor(arr), edge_dst, 3)
+                 * Tensor(coeff)).sum().data
+            )
+
+        assert_grad_close(s.grad, numerical_gradient(f, s0, eps=1e-3),
+                          atol=1e-2)
+
+
+class TestActivations:
+    def test_relu(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0], dtype=np.float32),
+                   requires_grad=True)
+        out = relu(x)
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.0, 1.0])
+
+    def test_leaky_relu(self):
+        x = Tensor(np.array([-2.0, 3.0], dtype=np.float32),
+                   requires_grad=True)
+        out = leaky_relu(x, 0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0], rtol=1e-6)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.1, 1.0])
+
+    def test_elu_continuous_and_grad(self, rng):
+        x0 = rng.normal(size=6).astype(np.float32)
+        x = Tensor(x0, requires_grad=True)
+        elu(x).sum().backward()
+
+        def f(arr):
+            return float(elu(Tensor(arr)).sum().data)
+
+        assert_grad_close(x.grad, numerical_gradient(f, x0, eps=1e-3),
+                          atol=1e-2)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = Tensor(np.ones(100, dtype=np.float32))
+        out = dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_zero_p_identity(self):
+        x = Tensor(np.ones(10, dtype=np.float32))
+        assert dropout(x, 0.0) is x
+
+    def test_inverted_scaling(self):
+        x = Tensor(np.ones(10_000, dtype=np.float32))
+        out = dropout(x, 0.3, rng=0)
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 1.0 / 0.7, rtol=1e-5)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(2)), 1.0)
+
+
+class TestLosses:
+    def test_log_softmax_rows_normalize(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        logp = log_softmax(x)
+        np.testing.assert_allclose(np.exp(logp.data).sum(axis=1), 1.0,
+                                   rtol=1e-5)
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4), dtype=np.float32))
+        loss = cross_entropy(logits, np.array([0, 3]))
+        assert float(loss.data) == pytest.approx(np.log(4), rel=1e-5)
+
+    def test_cross_entropy_gradcheck(self, rng):
+        x0 = rng.normal(size=(3, 5)).astype(np.float32)
+        labels = np.array([1, 4, 0])
+        x = Tensor(x0, requires_grad=True)
+        cross_entropy(x, labels).backward()
+
+        def f(arr):
+            return float(cross_entropy(Tensor(arr), labels).data)
+
+        assert_grad_close(x.grad, numerical_gradient(f, x0, eps=1e-3),
+                          atol=1e-2)
+
+    def test_cross_entropy_grad_is_softmax_minus_onehot(self, rng):
+        x0 = rng.normal(size=(2, 3)).astype(np.float32)
+        labels = np.array([2, 0])
+        x = Tensor(x0, requires_grad=True)
+        cross_entropy(x, labels).backward()
+        softmax = np.exp(x0 - x0.max(1, keepdims=True))
+        softmax /= softmax.sum(1, keepdims=True)
+        onehot = np.zeros((2, 3), dtype=np.float32)
+        onehot[np.arange(2), labels] = 1.0
+        np.testing.assert_allclose(x.grad, (softmax - onehot) / 2,
+                                   rtol=1e-4, atol=1e-6)
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))

@@ -1,0 +1,100 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    chung_lu_graph,
+    community_graph,
+    erdos_renyi_graph,
+    power_law_degrees,
+    rmat_graph,
+)
+
+
+class TestPowerLawDegrees:
+    def test_mean_matches_target(self):
+        w = power_law_degrees(5000, avg_degree=12.0, rng=0)
+        assert abs(w.mean() - 12.0) < 1e-6
+
+    def test_positive_and_skewed(self):
+        w = power_law_degrees(5000, avg_degree=10.0, rng=1)
+        assert w.min() > 0
+        assert w.max() > 3 * w.mean()  # heavy tail
+
+    def test_invalid_args(self):
+        with pytest.raises(GraphError):
+            power_law_degrees(0, 5.0)
+        with pytest.raises(GraphError):
+            power_law_degrees(10, -1.0)
+
+
+class TestChungLu:
+    def test_average_degree_close(self):
+        g = chung_lu_graph(4000, avg_degree=10.0, rng=0)
+        assert 6.0 < g.avg_degree < 14.0
+
+    def test_undirected(self):
+        g = chung_lu_graph(500, avg_degree=6.0, rng=1)
+        src, dst = g.to_edges()
+        edge_set = set(zip(src.tolist(), dst.tolist()))
+        assert all((b, a) in edge_set for a, b in edge_set)
+
+    def test_no_self_loops(self):
+        g = chung_lu_graph(500, avg_degree=6.0, rng=2)
+        src, dst = g.to_edges()
+        assert np.all(src != dst)
+
+    def test_deterministic(self):
+        a = chung_lu_graph(300, 5.0, rng=7)
+        b = chung_lu_graph(300, 5.0, rng=7)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+
+class TestCommunityGraph:
+    def test_returns_assignment(self):
+        g, comm = community_graph(1000, 8.0, num_communities=4, rng=0)
+        assert len(comm) == g.num_nodes == 1000
+        assert set(np.unique(comm)) <= set(range(4))
+
+    def test_homophily(self):
+        """Intra-community edges far exceed the random baseline."""
+        g, comm = community_graph(2000, 10.0, num_communities=4,
+                                  intra_fraction=0.8, rng=1)
+        src, dst = g.to_edges()
+        intra = float(np.mean(comm[src] == comm[dst]))
+        assert intra > 0.5  # random baseline would be ~0.25
+
+    def test_communities_contiguous(self):
+        """The generator lays communities out contiguously by node ID
+        (batch-locality in MinibatchPlan depends on this)."""
+        _, comm = community_graph(500, 6.0, num_communities=5, rng=2)
+        assert np.all(np.diff(comm) >= 0)
+
+    def test_invalid_args(self):
+        with pytest.raises(GraphError):
+            community_graph(100, 5.0, num_communities=0)
+        with pytest.raises(GraphError):
+            community_graph(100, 5.0, num_communities=2, intra_fraction=1.5)
+
+
+class TestRMAT:
+    def test_size_and_skew(self):
+        g = rmat_graph(2048, avg_degree=8.0, rng=0)
+        assert g.num_nodes == 2048
+        assert g.avg_degree > 3.0
+        # RMAT produces hubs well above the average.
+        assert g.degrees.max() > 4 * g.avg_degree
+
+    def test_invalid_quadrants(self):
+        with pytest.raises(GraphError):
+            rmat_graph(128, 4.0, a=0.6, b=0.3, c=0.3)
+
+
+class TestErdosRenyi:
+    def test_degree_concentrated(self):
+        g = erdos_renyi_graph(3000, avg_degree=10.0, rng=0)
+        assert 7.0 < g.avg_degree < 13.0
+        # No power-law tail: max degree within a few x of the mean.
+        assert g.degrees.max() < 5 * g.avg_degree

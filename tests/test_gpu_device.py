@@ -1,0 +1,74 @@
+"""Tests for the device-memory allocator."""
+
+import pytest
+
+from repro.errors import DeviceMemoryError
+from repro.gpu.device import DeviceMemory
+
+
+class TestDeviceMemory:
+    def test_alloc_and_free(self):
+        dev = DeviceMemory(1000)
+        dev.alloc("a", 400)
+        assert dev.used_bytes == 400
+        assert dev.free_bytes == 600
+        dev.free("a")
+        assert dev.used_bytes == 0
+
+    def test_over_allocation_raises(self):
+        dev = DeviceMemory(100)
+        with pytest.raises(DeviceMemoryError) as err:
+            dev.alloc("big", 200)
+        assert err.value.requested == 200
+        assert err.value.available == 100
+
+    def test_duplicate_name_rejected(self):
+        dev = DeviceMemory(100)
+        dev.alloc("x", 10)
+        with pytest.raises(ValueError):
+            dev.alloc("x", 10)
+
+    def test_free_unknown_name(self):
+        with pytest.raises(KeyError):
+            DeviceMemory(10).free("ghost")
+
+    def test_peak_tracking(self):
+        dev = DeviceMemory(1000)
+        dev.alloc("a", 300)
+        dev.alloc("b", 400)
+        dev.free("a")
+        dev.alloc("c", 100)
+        assert dev.peak_bytes == 700
+
+    def test_resize(self):
+        dev = DeviceMemory(1000)
+        dev.alloc("buf", 100)
+        dev.resize("buf", 600)
+        assert dev.used_bytes == 600
+        dev.resize("buf", 50)
+        assert dev.used_bytes == 50
+        assert dev.peak_bytes == 600
+
+    def test_resize_over_capacity(self):
+        dev = DeviceMemory(100)
+        dev.alloc("buf", 50)
+        with pytest.raises(DeviceMemoryError):
+            dev.resize("buf", 200)
+
+    def test_resize_unknown(self):
+        with pytest.raises(KeyError):
+            DeviceMemory(10).resize("ghost", 5)
+
+    def test_snapshot(self):
+        dev = DeviceMemory(100)
+        dev.alloc("a", 10)
+        dev.alloc("b", 20)
+        assert dev.snapshot() == {"a": 10, "b": 20}
+
+    def test_negative_alloc(self):
+        with pytest.raises(ValueError):
+            DeviceMemory(10).alloc("neg", -1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceMemory(0)

@@ -1,0 +1,77 @@
+"""Tests for thread-block planning, occupancy and the GEMM model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.kernels import (
+    ThreadBlockConfig,
+    aggregation_kernel_plan,
+    gemm_time,
+)
+from repro.gpu.spec import RTX3090
+
+
+class TestThreadBlockConfig:
+    def test_paper_default(self):
+        config = ThreadBlockConfig()
+        assert config.x_nodes == 8 and config.y_dims == 32
+        assert config.threads_per_block == 256
+        config.validate(RTX3090)
+
+    def test_thread_limit_enforced(self):
+        config = ThreadBlockConfig(x_nodes=64, y_dims=32)  # 2048 threads
+        with pytest.raises(ConfigError, match="1024"):
+            config.validate(RTX3090)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ConfigError):
+            ThreadBlockConfig(x_nodes=0, y_dims=8).validate(RTX3090)
+
+    def test_shared_bytes_formula(self):
+        """Paper Section 4.2: 4XY + 4X|N(u)| bytes per block."""
+        config = ThreadBlockConfig(x_nodes=8, y_dims=32)
+        assert config.shared_bytes(avg_degree=10) == 4 * 8 * 32 + 4 * 8 * 10
+
+
+class TestKernelPlan:
+    def test_block_count(self):
+        plan = aggregation_kernel_plan(
+            num_target_nodes=100, feature_dim=64, avg_degree=10,
+            spec=RTX3090,
+        )
+        # ceil(100/8) * ceil(64/32) = 13 * 2 blocks.
+        assert plan.num_blocks == 26
+
+    def test_occupancy_in_unit_range(self):
+        plan = aggregation_kernel_plan(1000, 256, 15, RTX3090)
+        assert 0.0 < plan.occupancy <= 1.0
+        assert plan.fits
+
+    def test_huge_degree_exceeds_shared(self):
+        with pytest.raises(ConfigError, match="shared memory"):
+            aggregation_kernel_plan(
+                100, 64, avg_degree=50_000, spec=RTX3090,
+            )
+
+    def test_occupancy_drops_with_shared_pressure(self):
+        light = aggregation_kernel_plan(100, 32, 5, RTX3090)
+        heavy = aggregation_kernel_plan(
+            100, 32, 2000, RTX3090,
+            config=ThreadBlockConfig(x_nodes=8, y_dims=32),
+        )
+        assert heavy.shared_bytes_per_block > light.shared_bytes_per_block
+        assert heavy.blocks_per_sm <= light.blocks_per_sm
+
+
+class TestGemmTime:
+    def test_formula(self):
+        t = gemm_time(100, 64, 200, RTX3090, efficiency=0.5)
+        expected = 2 * 100 * 64 * 200 / (RTX3090.peak_flops * 0.5)
+        assert t == pytest.approx(expected)
+
+    def test_degenerate_dims(self):
+        assert gemm_time(0, 64, 64, RTX3090) == 0.0
+
+    def test_monotone_in_size(self):
+        assert gemm_time(200, 64, 64, RTX3090) > gemm_time(100, 64, 64,
+                                                           RTX3090)

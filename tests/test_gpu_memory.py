@@ -1,0 +1,98 @@
+"""Tests for the cache simulator and memory-hierarchy model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.memory import CacheSim, MemoryHierarchy
+from repro.gpu.spec import RTX3090
+
+
+class TestCacheSim:
+    def test_cold_misses(self):
+        cache = CacheSim(1024, line_bytes=64, ways=2)
+        hits = cache.access(np.array([0, 64, 128]))
+        assert not hits.any()
+        assert cache.stats.hit_rate == 0.0
+
+    def test_rereference_hits(self):
+        cache = CacheSim(1024, line_bytes=64, ways=2)
+        cache.access(np.array([0, 64]))
+        hits = cache.access(np.array([0, 64, 0]))
+        assert hits.all()
+        assert cache.stats.hits == 3
+
+    def test_same_line_spatial_hit(self):
+        cache = CacheSim(1024, line_bytes=64, ways=2)
+        hits = cache.access(np.array([0, 8, 63]))
+        np.testing.assert_array_equal(hits, [False, True, True])
+
+    def test_lru_eviction(self):
+        # 2 sets x 2 ways x 64B lines = 256B. Lines 0, 2, 4 map to set 0.
+        cache = CacheSim(256, line_bytes=64, ways=2)
+        a, b, c = 0, 2 * 64, 4 * 64
+        cache.access(np.array([a, b]))   # set 0 holds {a, b}
+        cache.access(np.array([c]))      # evicts a (LRU)
+        hits = cache.access(np.array([b, c, a]))
+        np.testing.assert_array_equal(hits, [True, True, False])
+
+    def test_lru_refresh_on_hit(self):
+        cache = CacheSim(256, line_bytes=64, ways=2)
+        a, b, c = 0, 2 * 64, 4 * 64
+        cache.access(np.array([a, b, a]))  # a refreshed; b is LRU
+        cache.access(np.array([c]))        # evicts b
+        hits = cache.access(np.array([a, b]))
+        np.testing.assert_array_equal(hits, [True, False])
+
+    def test_capacity_rounding(self):
+        cache = CacheSim(1000, line_bytes=64, ways=4)
+        assert cache.capacity_bytes <= 1000
+        assert cache.num_sets >= 1
+
+    def test_working_set_exceeds_capacity(self):
+        cache = CacheSim(4096, line_bytes=64, ways=4)
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 10_000_000, size=20_000) * 4
+        cache.access(addrs)
+        assert cache.stats.hit_rate < 0.05
+
+    def test_reset(self):
+        cache = CacheSim(1024)
+        cache.access(np.array([0, 0]))
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.access(np.array([0]))[0]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CacheSim(0)
+        with pytest.raises(ValueError):
+            CacheSim(1024, ways=0)
+
+
+class TestMemoryHierarchy:
+    def test_run_trace_levels(self):
+        hier = MemoryHierarchy(RTX3090)
+        rng = np.random.default_rng(1)
+        # Small working set: everything ends up hitting after warmup.
+        addrs = np.tile(rng.integers(0, 64, size=64) * 128, 20)
+        stats = hier.run_trace(addrs)
+        assert stats.l1_hit_rate > 0.8
+        assert stats.accesses == len(addrs)
+
+    def test_effective_bandwidth_bounds(self):
+        hier = MemoryHierarchy(RTX3090)
+        bw_all_global = hier.effective_bandwidth(0.0, 0.0)
+        bw_all_l1 = hier.effective_bandwidth(1.0, 0.0)
+        assert bw_all_global == pytest.approx(RTX3090.global_bw)
+        assert bw_all_l1 == pytest.approx(RTX3090.l1_bw)
+
+    def test_effective_bandwidth_monotone(self):
+        hier = MemoryHierarchy(RTX3090)
+        bws = [hier.effective_bandwidth(h, 0.2) for h in (0.0, 0.3, 0.9)]
+        assert bws == sorted(bws)
+
+    def test_global_fraction(self):
+        from repro.gpu.memory import HierarchyStats
+
+        stats = HierarchyStats(l1_hit_rate=0.1, l2_hit_rate=0.5, accesses=10)
+        assert stats.global_fraction == pytest.approx(0.45)

@@ -1,0 +1,90 @@
+"""Tests for dataset/graph serialization and the val/test splits."""
+
+import numpy as np
+import pytest
+
+from helpers import make_spec
+from repro.graph.datasets import Dataset
+from repro.graph.io import load_dataset, load_graph, save_dataset, save_graph
+
+
+class TestSplits:
+    def test_splits_are_disjoint_and_cover(self, tiny_dataset):
+        ds = tiny_dataset
+        combined = np.concatenate([ds.train_ids, ds.val_ids, ds.test_ids])
+        assert len(combined) == ds.num_nodes
+        assert len(np.unique(combined)) == ds.num_nodes
+
+    def test_val_test_roughly_even(self, tiny_dataset):
+        ds = tiny_dataset
+        assert abs(len(ds.val_ids) - len(ds.test_ids)) <= 1
+
+
+class TestGraphRoundTrip:
+    def test_save_load_graph(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_graph(path, tiny_graph)
+        loaded = load_graph(path)
+        np.testing.assert_array_equal(loaded.indptr, tiny_graph.indptr)
+        np.testing.assert_array_equal(loaded.indices, tiny_graph.indices)
+
+
+class TestDatasetRoundTrip:
+    @pytest.fixture()
+    def small(self):
+        return Dataset(make_spec(num_nodes=400, feature_dim=8), seed=11)
+
+    def test_round_trip_arrays(self, small, tmp_path):
+        path = tmp_path / "dataset.npz"
+        save_dataset(path, small)
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.graph.indices,
+                                      small.graph.indices)
+        np.testing.assert_array_equal(loaded.labels, small.labels)
+        np.testing.assert_array_equal(loaded.train_ids, small.train_ids)
+        np.testing.assert_array_equal(loaded.val_ids, small.val_ids)
+        np.testing.assert_array_equal(loaded.test_ids, small.test_ids)
+
+    def test_round_trip_features_materialized(self, small, tmp_path):
+        path = tmp_path / "dataset.npz"
+        reference = small.features.gather(np.arange(50))
+        save_dataset(path, small)
+        loaded = load_dataset(path)
+        np.testing.assert_allclose(loaded.features.gather(np.arange(50)),
+                                   reference, rtol=1e-6)
+
+    def test_round_trip_spec(self, small, tmp_path):
+        path = tmp_path / "dataset.npz"
+        save_dataset(path, small)
+        loaded = load_dataset(path)
+        assert loaded.spec == small.spec
+        assert loaded.seed == small.seed
+        assert loaded.cache_budget_bytes() == small.cache_budget_bytes()
+
+    def test_loaded_dataset_trains(self, small, tmp_path):
+        """A reloaded dataset runs through a framework unchanged."""
+        from repro.config import RunConfig
+        from repro.frameworks import FastGLFramework
+
+        path = tmp_path / "dataset.npz"
+        save_dataset(path, small)
+        loaded = load_dataset(path)
+        config = RunConfig(batch_size=32, fanouts=(3,), hidden_dim=8,
+                           num_gpus=1)
+        report = FastGLFramework().run_epoch(loaded, config)
+        assert report.epoch_time > 0
+
+    def test_version_guard(self, small, tmp_path):
+        import json
+
+        path = tmp_path / "dataset.npz"
+        save_dataset(path, small)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        meta = json.loads(bytes(arrays["meta"].tobytes()).decode())
+        meta["version"] = 99
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode(),
+                                       dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)

@@ -1,0 +1,128 @@
+"""Tests for the exact open-addressing hash table (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.idmap.hash_table import (
+    ExactOpenAddressTable,
+    estimate_probe_stats,
+    table_capacity,
+)
+
+
+class TestTableCapacity:
+    def test_power_of_two(self):
+        for n in (1, 3, 100, 1000):
+            cap = table_capacity(n)
+            assert cap & (cap - 1) == 0
+            assert cap >= n / 0.5
+
+    def test_respects_load_factor(self):
+        assert table_capacity(100, load_factor=0.25) >= 400
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            table_capacity(-1)
+
+
+class TestInsertSemantics:
+    def test_fresh_insert_flag_false(self):
+        table = ExactOpenAddressTable(8)
+        _, flag = table.insert_id(3)
+        assert flag is False  # new node
+
+    def test_duplicate_insert_flag_true(self):
+        table = ExactOpenAddressTable(8)
+        table.insert_id(3)
+        index, flag = table.insert_id(3)
+        assert flag is True
+        assert table.keys[index] == 3
+
+    def test_linear_probing_on_collision(self):
+        table = ExactOpenAddressTable(8)
+        # 3 and 11 both hash to slot 3 (mod 8): 11 must probe to slot 4.
+        i1, _ = table.insert_id(3)
+        i2, _ = table.insert_id(11)
+        assert i1 == 3 and i2 == 4
+        assert table.stats.probe_retries == 1
+
+    def test_probe_wraps_around(self):
+        table = ExactOpenAddressTable(4)
+        table.insert_id(3)
+        index, _ = table.insert_id(7)  # hashes to 3, wraps to 0
+        assert index == 0
+
+    def test_full_table_raises(self):
+        table = ExactOpenAddressTable(2)
+        table.insert_id(0)
+        table.insert_id(1)
+        with pytest.raises(RuntimeError, match="full"):
+            table.insert_id(2)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            ExactOpenAddressTable(4).insert_id(-1)
+
+
+class TestFusedMap:
+    def test_consecutive_local_ids(self):
+        table = ExactOpenAddressTable(16)
+        for gid in [5, 9, 5, 2, 9, 7]:
+            table.fused_map_insert(gid)
+        mapping = table.mapping()
+        assert set(mapping.keys()) == {5, 9, 2, 7}
+        assert sorted(mapping.values()) == [0, 1, 2, 3]
+        assert table.local_id == 4
+
+    def test_duplicates_are_idempotent(self):
+        table = ExactOpenAddressTable(16)
+        for _ in range(10):
+            table.fused_map_insert(4)
+        assert table.local_id == 1
+        assert table.mapping() == {4: 0}
+        assert table.stats.duplicate_hits == 9
+
+    def test_lookup(self):
+        table = ExactOpenAddressTable(8)
+        table.fused_map_insert(3)
+        table.fused_map_insert(11)  # collides, probes
+        assert table.lookup(3) == 0
+        assert table.lookup(11) == 1
+        assert table.lookup(99) == -1
+
+    def test_atomic_add_returns_old_value(self):
+        table = ExactOpenAddressTable(4)
+        assert table.atomic_add_local_id() == 0
+        assert table.atomic_add_local_id() == 1
+        assert table.add_ops == 2
+
+    def test_cas_counter(self):
+        table = ExactOpenAddressTable(8)
+        table.insert_id(1)
+        table.insert_id(1)
+        assert table.cas_ops == 2
+
+
+class TestProbeEstimate:
+    def test_no_collisions_no_probes(self):
+        stats = estimate_probe_stats(np.arange(8), 0, capacity=64)
+        assert stats.probe_retries == 0
+        assert stats.inserts == 8
+
+    def test_clustered_keys_probe(self):
+        # All keys hash to the same slot.
+        keys = np.arange(0, 64, 8) * 8  # multiples of 64 mod 64 == 0
+        stats = estimate_probe_stats(keys, 0, capacity=64)
+        n = len(keys)
+        assert stats.probe_retries == n * (n - 1) // 2
+
+    def test_duplicates_scale_probes(self):
+        keys = np.array([0, 64, 128])  # same slot in capacity 64
+        no_dup = estimate_probe_stats(keys, 0, capacity=64)
+        with_dup = estimate_probe_stats(keys, 30, capacity=64)
+        assert with_dup.probe_retries > no_dup.probe_retries
+        assert with_dup.duplicate_hits == 30
+
+    def test_avg_probes(self):
+        stats = estimate_probe_stats(np.arange(10), 0, capacity=1024)
+        assert stats.avg_probes == 0.0

@@ -1,0 +1,107 @@
+"""Tests for the extension features: layer-wise sampler, multi-machine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.gpu.multimachine import (
+    MachineSpec,
+    hierarchical_allreduce_time,
+    multimachine_epoch_time,
+)
+from repro.sampling import BaselineIdMap
+from repro.sampling.layerwise import LayerWiseSampler
+
+
+class TestLayerWiseSampler:
+    @pytest.fixture()
+    def sampler(self, tiny_graph):
+        return LayerWiseSampler(tiny_graph, (64, 256), rng=0)
+
+    def test_block_structure(self, sampler, tiny_dataset):
+        sg = sampler.sample(tiny_dataset.train_ids[:32])
+        sg.validate()
+        assert sg.num_layers == 2
+
+    def test_layer_budget_bounds_frontier(self, sampler, tiny_dataset):
+        sg = sampler.sample(tiny_dataset.train_ids[:32])
+        # frontier <= previous frontier + layer budget.
+        assert sg.layers[0].num_src <= 32 + 64
+        assert sg.layers[1].num_src <= sg.layers[0].num_src + 256
+
+    def test_edges_are_real(self, sampler, tiny_graph, tiny_dataset):
+        sg = sampler.sample(tiny_dataset.train_ids[:16])
+        block = sg.layers[0]
+        src_g = block.src_global[block.edge_src]
+        dst_g = block.dst_global[block.edge_dst]
+        for s, d in zip(src_g[:100], dst_g[:100]):
+            assert s in tiny_graph.neighbors(int(d))
+
+    def test_degree_biased_candidates(self, tiny_graph, tiny_dataset):
+        """High-degree nodes appear in the candidate pool far more often
+        than uniform sampling would produce."""
+        sampler = LayerWiseSampler(tiny_graph, (128,), rng=1)
+        picks = []
+        for trial in range(20):
+            sg = sampler.sample(tiny_dataset.train_ids[trial::40][:16])
+            picks.append(sg.layers[0].src_global)
+        picked = np.concatenate(picks)
+        avg_degree_picked = tiny_graph.degrees[picked].mean()
+        assert avg_degree_picked > 1.2 * tiny_graph.degrees.mean()
+
+    def test_invalid_args(self, tiny_graph):
+        with pytest.raises(SamplingError):
+            LayerWiseSampler(tiny_graph, ())
+        with pytest.raises(SamplingError):
+            LayerWiseSampler(tiny_graph, (0,))
+        with pytest.raises(SamplingError):
+            LayerWiseSampler(tiny_graph, (8,), device="dsp")
+
+    def test_edgeless_graph_rejected(self):
+        from repro.graph.csr import CSRGraph
+
+        empty = CSRGraph(indptr=np.zeros(5, dtype=np.int64),
+                         indices=np.array([], dtype=np.int64))
+        with pytest.raises(SamplingError):
+            LayerWiseSampler(empty, (4,))
+
+    def test_idmap_injection(self, tiny_graph, tiny_dataset):
+        sampler = LayerWiseSampler(tiny_graph, (64,),
+                                   idmap=BaselineIdMap(), rng=0)
+        sg = sampler.sample(tiny_dataset.train_ids[:8])
+        assert sg.idmap_report.sync_events > 0
+
+
+class TestMultiMachine:
+    def test_single_machine_is_intra_only(self):
+        from repro.gpu.cluster import allreduce_time
+
+        spec = MachineSpec(gpus_per_machine=4)
+        t = hierarchical_allreduce_time(1e8, 1, spec)
+        assert t == pytest.approx(allreduce_time(1e8, 4))
+
+    def test_inter_machine_adds_nic_cost(self):
+        spec = MachineSpec(gpus_per_machine=4)
+        one = hierarchical_allreduce_time(1e8, 1, spec)
+        two = hierarchical_allreduce_time(1e8, 2, spec)
+        assert two > one
+
+    def test_zero_bytes(self):
+        assert hierarchical_allreduce_time(0, 4) == 0.0
+
+    def test_invalid_machines(self):
+        with pytest.raises(ValueError):
+            hierarchical_allreduce_time(1e6, 0)
+        with pytest.raises(ValueError):
+            multimachine_epoch_time(1.0, 10, 1e6, 0)
+
+    def test_epoch_time_scales_down(self):
+        t1 = multimachine_epoch_time(10.0, 100, 1e6, 1)
+        t4 = multimachine_epoch_time(10.0, 100, 1e6, 4)
+        assert t4 < t1
+        # But never superlinearly.
+        assert t4 > t1 / 8
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            multimachine_epoch_time(1.0, -1, 1e6, 2)

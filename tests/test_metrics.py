@@ -1,0 +1,87 @@
+"""Tests for roofline analysis and the paper-scale memory estimator."""
+
+import pytest
+
+from helpers import make_spec
+from repro.core.memory_aware import ComputeCostModel, model_profile
+from repro.gpu.spec import RTX3090
+from repro.metrics.memory import paper_scale_workspace_bytes
+from repro.metrics.roofline import (
+    RooflinePoint,
+    point_from_compute_report,
+    roofline_ceiling,
+)
+from repro.sampling import NeighborSampler
+
+
+class TestRoofline:
+    def test_ceiling_memory_bound_region(self):
+        oi = 0.5
+        assert roofline_ceiling(oi) == pytest.approx(oi * RTX3090.global_bw)
+
+    def test_ceiling_compute_bound_region(self):
+        assert roofline_ceiling(1e6) == RTX3090.peak_flops
+
+    def test_negative_oi_rejected(self):
+        with pytest.raises(ValueError):
+            roofline_ceiling(-1.0)
+
+    def test_point_properties(self):
+        point = RooflinePoint("k", operational_intensity=0.25,
+                              achieved_flops=2e11)
+        assert point.achieved_gflops == pytest.approx(200)
+        assert point.attainable_flops() == pytest.approx(
+            0.25 * RTX3090.global_bw
+        )
+
+    def test_point_from_report(self, tiny_graph, tiny_dataset):
+        sampler = NeighborSampler(tiny_graph, (3, 4), rng=0)
+        sg = sampler.sample(tiny_dataset.train_ids[:32])
+        model = ComputeCostModel(mode="memory_aware")
+        profile = model_profile("gcn", 16, 5, hidden_dim=8, num_layers=2)
+        report = model.subgraph_report(sg, profile)
+        point = point_from_compute_report("ma", report)
+        assert point.achieved_flops > 0
+        # Never above the roof for its OI (the model is consistent).
+        assert point.achieved_flops <= 1.05 * point.attainable_flops()
+
+
+class TestPaperScaleWorkspace:
+    def test_breakdown_sums(self):
+        spec = make_spec(num_nodes=1000, avg_degree=10)
+        result = paper_scale_workspace_bytes(spec)
+        assert result["total"] > 0
+        assert result["features"] > 0
+        assert result["input_nodes"] > 0
+
+    def test_monotone_in_batch_size(self):
+        spec = make_spec()
+        small = paper_scale_workspace_bytes(spec, batch_size=100)
+        large = paper_scale_workspace_bytes(spec, batch_size=10_000)
+        assert large["total"] > small["total"]
+
+    def test_monotone_in_feature_dim(self):
+        narrow = paper_scale_workspace_bytes(make_spec(feature_dim=16))
+        wide = paper_scale_workspace_bytes(make_spec(feature_dim=512))
+        assert wide["total"] > narrow["total"]
+
+    def test_edge_messages_toggle(self):
+        spec = make_spec()
+        with_msgs = paper_scale_workspace_bytes(
+            spec, materialize_edge_messages=True)
+        without = paper_scale_workspace_bytes(
+            spec, materialize_edge_messages=False)
+        assert with_msgs["total"] > without["total"]
+        assert without["edge_messages"] == 0
+
+    def test_structure_formats(self):
+        spec = make_spec()
+        three = paper_scale_workspace_bytes(spec, structure_formats=3)
+        one = paper_scale_workspace_bytes(spec, structure_formats=1)
+        assert three["structure"] == 3 * one["structure"]
+
+    def test_full_graph_term_scales_with_paper_edges(self):
+        small = paper_scale_workspace_bytes(make_spec(num_nodes=1000))
+        big = paper_scale_workspace_bytes(make_spec(num_nodes=100_000))
+        assert (big["full_graph_topology"]
+                > small["full_graph_topology"])

@@ -1,0 +1,55 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import accuracy, logits_accuracy, macro_f1
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == (
+            pytest.approx(2 / 3)
+        )
+
+    def test_empty(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        assert macro_f1(labels, labels) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # class 0: P=1, R=0.5 -> F1=2/3; class 1: P=0.5, R=1 -> F1=2/3.
+        predictions = np.array([0, 1, 1])
+        labels = np.array([0, 0, 1])
+        assert macro_f1(predictions, labels) == pytest.approx(2 / 3)
+
+    def test_absent_class_skipped(self):
+        predictions = np.array([0, 0])
+        labels = np.array([0, 0])
+        assert macro_f1(predictions, labels, num_classes=5) == (
+            pytest.approx(1.0)
+        )
+
+    def test_all_wrong(self):
+        assert macro_f1(np.array([1, 1]), np.array([0, 0])) == 0.0
+
+    def test_empty(self):
+        assert macro_f1(np.array([]), np.array([])) == 0.0
+
+
+class TestLogitsAccuracy:
+    def test_argmax(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert logits_accuracy(logits, np.array([1, 0])) == 1.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            logits_accuracy(np.array([0.1, 0.9]), np.array([1]))

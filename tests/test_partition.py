@@ -1,0 +1,99 @@
+"""Tests for train splits and mini-batch planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.graph.partition import MinibatchPlan, train_split
+
+
+class TestTrainSplit:
+    def test_size(self):
+        ids = train_split(1000, 0.25, rng=0)
+        assert len(ids) == 250
+        assert np.all(np.diff(ids) > 0)
+
+    def test_bounds(self):
+        ids = train_split(100, 0.5, rng=1)
+        assert ids.min() >= 0 and ids.max() < 100
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigError):
+            train_split(10, 0.0)
+        with pytest.raises(ConfigError):
+            train_split(10, 1.5)
+
+
+class TestMinibatchPlan:
+    def test_covers_all_ids_exactly_once(self):
+        ids = np.arange(0, 1000, 3)
+        plan = MinibatchPlan(ids, batch_size=64)
+        batches = plan.batches(rng=0)
+        joined = np.concatenate(batches)
+        np.testing.assert_array_equal(np.sort(joined), ids)
+
+    def test_num_batches(self):
+        plan = MinibatchPlan(np.arange(100), batch_size=30)
+        assert plan.num_batches == 4
+        assert len(plan.batches(rng=0)) == 4
+
+    def test_drop_last(self):
+        plan = MinibatchPlan(np.arange(100), batch_size=30, drop_last=True)
+        assert plan.num_batches == 3
+        batches = plan.batches(rng=0)
+        assert all(len(b) == 30 for b in batches)
+
+    def test_reshuffles_per_call(self):
+        plan = MinibatchPlan(np.arange(256), batch_size=64)
+        rng = np.random.default_rng(0)
+        a = plan.batches(rng)[0]
+        b = plan.batches(rng)[0]
+        assert not np.array_equal(a, b)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            MinibatchPlan(np.arange(10), batch_size=0)
+        with pytest.raises(ConfigError):
+            MinibatchPlan(np.array([]), batch_size=4)
+        with pytest.raises(ConfigError):
+            MinibatchPlan(np.arange(10), batch_size=4, locality=1.5)
+
+    def test_locality_partition_is_exact(self):
+        ids = np.arange(0, 2000, 2)
+        plan = MinibatchPlan(ids, batch_size=128, locality=0.7)
+        batches = plan.batches(rng=3)
+        joined = np.concatenate(batches)
+        assert len(joined) == len(ids)
+        np.testing.assert_array_equal(np.sort(joined), ids)
+
+    def test_locality_concentrates_batches(self):
+        """Higher locality -> narrower within-batch ID ranges on average."""
+        ids = np.arange(4096)
+
+        def mean_spread(locality):
+            plan = MinibatchPlan(ids, batch_size=128, locality=locality)
+            batches = plan.batches(rng=5)
+            return np.mean([np.ptp(b) for b in batches])
+
+        assert mean_spread(0.9) < mean_spread(0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=500),
+    batch=st.integers(min_value=1, max_value=100),
+    locality=st.sampled_from([0.0, 0.3, 0.6, 1.0]),
+    seed=st.integers(min_value=0, max_value=10),
+)
+def test_batches_partition_property(n, batch, locality, seed):
+    """Property: batches always partition the training IDs exactly."""
+    ids = np.random.default_rng(n).choice(10 * n, size=n, replace=False)
+    plan = MinibatchPlan(ids, batch_size=batch, locality=locality)
+    batches = plan.batches(rng=seed)
+    joined = np.concatenate(batches)
+    assert len(joined) == n
+    np.testing.assert_array_equal(np.sort(joined), np.sort(ids))
+    # No batch exceeds ~2x the nominal size (locality filling is balanced).
+    assert all(len(b) <= 2 * batch + 1 for b in batches)

@@ -1,0 +1,124 @@
+"""Tests for the Greedy Reorder strategy (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reorder import (
+    chain_match_score,
+    greedy_reorder,
+    match_degree_matrix,
+    optimal_reorder,
+)
+
+
+def random_matrix(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    m = rng.random((n, n))
+    m = (m + m.T) / 2
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+class TestMatchDegreeMatrix:
+    def test_symmetric_zero_diagonal(self):
+        sets = [np.array([1, 2, 3]), np.array([2, 3, 4]), np.array([9])]
+        m = match_degree_matrix(sets)
+        np.testing.assert_allclose(m, m.T)
+        np.testing.assert_array_equal(np.diag(m), 0.0)
+
+    def test_values(self):
+        sets = [np.array([1, 2, 3]), np.array([2, 3, 4, 5])]
+        m = match_degree_matrix(sets)
+        assert m[0, 1] == pytest.approx(2 / 3)
+
+    def test_empty_set_entry(self):
+        sets = [np.array([], dtype=np.int64), np.array([1])]
+        m = match_degree_matrix(sets)
+        assert m[0, 1] == 0.0
+
+
+class TestGreedyReorder:
+    def test_is_permutation_anchored_at_zero(self):
+        m = random_matrix(7, seed=0)
+        order = greedy_reorder(m)
+        assert sorted(order) == list(range(7))
+        assert order[0] == 0
+
+    def test_greedy_invariant(self):
+        """Each placed batch has the max match degree to its predecessor
+        among the then-remaining batches (Algorithm 1, line 7)."""
+        m = random_matrix(8, seed=1)
+        order = greedy_reorder(m)
+        remaining = set(range(1, 8))
+        z = 0
+        for nxt in order[1:]:
+            best = max(remaining, key=lambda k: m[z, k])
+            assert m[z, nxt] == pytest.approx(m[z, best])
+            remaining.remove(nxt)
+            z = nxt
+
+    def test_known_example(self):
+        """The paper's Fig. 6 situation: m13 > m12 -> SubG3 runs second."""
+        m = np.zeros((3, 3))
+        m[0, 1] = m[1, 0] = 0.4   # m12
+        m[0, 2] = m[2, 0] = 0.8   # m13
+        m[1, 2] = m[2, 1] = 0.5
+        assert greedy_reorder(m) == [0, 2, 1]
+
+    def test_trivial_sizes(self):
+        assert greedy_reorder(np.zeros((0, 0))) == []
+        assert greedy_reorder(np.zeros((1, 1))) == [0]
+        assert greedy_reorder(np.zeros((2, 2))) == [0, 1]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_reorder(np.zeros((2, 3)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(3, 7), seed=st.integers(0, 100))
+    def test_greedy_at_most_optimal(self, n, seed):
+        """Property: greedy's chain score never exceeds the exhaustive
+        optimum, and both are valid permutations anchored at 0."""
+        m = random_matrix(n, seed)
+        greedy = greedy_reorder(m)
+        best = optimal_reorder(m)
+        assert chain_match_score(m, greedy) <= (
+            chain_match_score(m, best) + 1e-12
+        )
+        assert sorted(best) == list(range(n)) and best[0] == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(3, 8), seed=st.integers(0, 100))
+    def test_greedy_first_hop_is_best(self, n, seed):
+        m = random_matrix(n, seed)
+        order = greedy_reorder(m)
+        assert m[0, order[1]] == pytest.approx(m[0].max())
+
+
+class TestChainScoreAndOptimal:
+    def test_chain_score(self):
+        m = random_matrix(4, seed=3)
+        order = [0, 2, 1, 3]
+        expected = m[0, 2] + m[2, 1] + m[1, 3]
+        assert chain_match_score(m, order) == pytest.approx(expected)
+
+    def test_optimal_beats_identity(self):
+        m = random_matrix(6, seed=4)
+        assert chain_match_score(m, optimal_reorder(m)) >= (
+            chain_match_score(m, list(range(6)))
+        )
+
+    def test_optimal_unanchored_at_least_anchored(self):
+        m = random_matrix(5, seed=5)
+        anchored = chain_match_score(m, optimal_reorder(m, fix_first=True))
+        free = chain_match_score(m, optimal_reorder(m, fix_first=False))
+        assert free >= anchored - 1e-12
+
+    def test_optimal_size_guard(self):
+        with pytest.raises(ValueError):
+            optimal_reorder(np.zeros((11, 11)))
+
+    def test_optimal_empty(self):
+        assert optimal_reorder(np.zeros((0, 0))) == []

@@ -1,0 +1,95 @@
+"""Tests for graph statistics and the analytic size estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.stats import (
+    DegreeStats,
+    estimate_subgraph_size,
+    expected_unique,
+)
+
+
+class TestExpectedUnique:
+    def test_zero_cases(self):
+        assert expected_unique(0, 10) == 0.0
+        assert expected_unique(10, 0) == 0.0
+
+    def test_small_draws_nearly_all_unique(self):
+        assert expected_unique(1e9, 100) == pytest.approx(100, rel=1e-4)
+
+    def test_saturates_at_pool(self):
+        assert expected_unique(100, 1e6) == pytest.approx(100, rel=1e-3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pool=st.floats(1, 1e6), draws=st.floats(1, 1e6))
+    def test_bounds_property(self, pool, draws):
+        u = expected_unique(pool, draws)
+        assert 0 < u <= min(pool, draws) + 1e-6
+
+    def test_monotone_in_draws(self):
+        values = [expected_unique(1000, d) for d in (10, 100, 1000, 10000)]
+        assert values == sorted(values)
+
+
+class TestEstimateSubgraphSize:
+    def test_frontier_growth(self):
+        est = estimate_subgraph_size(1e6, 20, batch_size=100,
+                                     fanouts=(5, 10, 15))
+        assert len(est.frontiers) == 4
+        assert est.frontiers[0] == 100
+        # Frontiers grow until saturation.
+        assert est.frontiers[1] > est.frontiers[0]
+        assert est.frontiers[2] > est.frontiers[1]
+
+    def test_fanout_capped_by_degree(self):
+        sparse = estimate_subgraph_size(1e6, 3, batch_size=100,
+                                        fanouts=(15,))
+        assert sparse.edges_per_hop[0] == pytest.approx(300)
+
+    def test_input_nodes_bounded_by_pool(self):
+        est = estimate_subgraph_size(1000, 50, batch_size=500,
+                                     fanouts=(15, 15, 15),
+                                     hub_concentration=1.0)
+        assert est.frontiers[-1] <= 1000
+
+    def test_hub_concentration_shrinks_uniques(self):
+        loose = estimate_subgraph_size(1e6, 20, 1000, (10, 10),
+                                       hub_concentration=1.0)
+        tight = estimate_subgraph_size(1e6, 20, 1000, (10, 10),
+                                       hub_concentration=0.2)
+        assert tight.frontiers[-1] < loose.frontiers[-1]
+
+    def test_num_edges_is_sum(self):
+        est = estimate_subgraph_size(1e5, 10, 100, (5, 5))
+        assert est.num_edges == pytest.approx(sum(est.edges_per_hop))
+
+
+class TestDegreeStats:
+    def test_from_graph(self, tiny_graph):
+        stats = DegreeStats.from_graph(tiny_graph)
+        assert stats.num_nodes == tiny_graph.num_nodes
+        assert stats.num_edges == tiny_graph.num_edges
+        assert stats.max_degree >= stats.avg_degree
+        assert 0.0 <= stats.gini <= 1.0
+
+    def test_gini_zero_for_regular(self):
+        from repro.graph.csr import CSRGraph
+
+        # A 4-cycle: every node degree 2.
+        g = CSRGraph.from_edges(
+            np.array([0, 1, 2, 3]), np.array([1, 2, 3, 0]), 4,
+            symmetrize=True,
+        )
+        stats = DegreeStats.from_graph(g)
+        assert stats.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph(indptr=np.array([0]), indices=np.array([], dtype=int))
+        stats = DegreeStats.from_graph(g)
+        assert stats.num_nodes == 0
+        assert stats.gini == 0.0

@@ -1,0 +1,83 @@
+"""Tests for the chrome-trace exporter and iteration logging."""
+
+import json
+
+import pytest
+
+from repro.config import RunConfig
+from repro.frameworks import DGLFramework
+from repro.metrics.trace import PHASES, epoch_trace_events, write_chrome_trace
+
+
+@pytest.fixture()
+def report(tiny_dataset):
+    config = RunConfig(batch_size=64, fanouts=(3, 4), num_gpus=2,
+                       hidden_dim=8)
+    return DGLFramework().run_epoch(tiny_dataset, config)
+
+
+class TestIterationLog:
+    def test_recorded_per_trainer(self, report):
+        iterations = report.extras["iterations"]
+        assert len(iterations) == report.extras["num_trainers"] == 2
+        assert sum(len(lane) for lane in iterations) == report.num_batches
+
+    def test_phase_sums_match_report(self, report):
+        iterations = report.extras["iterations"]
+        total_sample = sum(t[0] for lane in iterations for t in lane)
+        total_io = sum(t[1] for lane in iterations for t in lane)
+        total_compute = sum(t[2] for lane in iterations for t in lane)
+        assert total_sample == pytest.approx(report.phases.sample)
+        assert total_io == pytest.approx(report.phases.memory_io)
+        assert total_compute == pytest.approx(report.phases.compute)
+
+
+class TestTraceEvents:
+    def test_event_fields(self, report):
+        events = epoch_trace_events(report)
+        assert events
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] > 0
+            assert event["cat"] in PHASES
+            assert event["tid"].startswith("gpu")
+
+    def test_lanes_do_not_overlap(self, report):
+        events = epoch_trace_events(report)
+        by_lane = {}
+        for event in events:
+            by_lane.setdefault(event["tid"], []).append(event)
+        for lane_events in by_lane.values():
+            lane_events.sort(key=lambda e: e["ts"])
+            for a, b in zip(lane_events, lane_events[1:]):
+                assert a["ts"] + a["dur"] <= b["ts"] + 1e-6
+
+    def test_total_duration_matches_phases(self, report):
+        events = epoch_trace_events(report)
+        total = sum(e["dur"] for e in events) / 1e6
+        expected = (report.phases.sample + report.phases.memory_io
+                    + report.phases.compute)
+        assert total == pytest.approx(expected, rel=1e-6)
+
+    def test_empty_report(self):
+        from repro.frameworks.base import EpochReport, PhaseTimes
+        from repro.core.memory_aware import ComputeReport
+        from repro.transfer.loader import TransferReport
+
+        empty = EpochReport(
+            framework="x", dataset="d", model="gcn", num_batches=0,
+            phases=PhaseTimes(), epoch_time=0.0,
+            transfer=TransferReport(), compute=ComputeReport(),
+        )
+        assert epoch_trace_events(empty) == []
+
+
+class TestWriteTrace:
+    def test_writes_valid_json(self, report, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(path, report)
+        assert count > 0
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert len(payload["traceEvents"]) == count
+        assert payload["otherData"]["framework"] == "dgl"
