@@ -1,0 +1,76 @@
+"""Out-of-core storage-tier benches: the shapes the tier must reproduce.
+
+GIDS (arXiv:2306.16384): GPU-initiated direct storage access beats the
+bounce buffer. BGL (arXiv:2112.08541): partition-aware caching beats
+recency-only at the small cache ratios of out-of-core training. FastGL:
+Match composes with the tier — overlap cuts SSD reads, not just PCIe
+bytes.
+"""
+
+from repro.experiments import ext_out_of_core
+
+
+def test_direct_access_beats_bounce_buffer(run_experiment):
+    result = run_experiment(ext_out_of_core.run_access_paths)
+    rows = {(row[0], row[1]): row for row in result.rows}
+    for framework in ("dgl-ooc", "fastgl-ooc"):
+        direct = rows[(framework, "direct")]
+        bounce = rows[(framework, "bounce")]
+        # Direct access bypasses host DRAM entirely...
+        assert direct[3] == 0
+        assert bounce[3] > 0
+        # ...reads the same pages off the drive...
+        assert direct[5] == bounce[5]
+        # ...and finishes the IO phase faster.
+        assert direct[2] < bounce[2]
+
+
+def test_partition_cache_beats_lru_when_memory_is_scarce(run_experiment):
+    result = run_experiment(ext_out_of_core.run_cache_policies)
+    low_ratio_rows = [row for row in result.rows if row[0] <= 0.1]
+    assert low_ratio_rows, "sweep must cover the scarce-memory regime"
+    for row in low_ratio_rows:
+        ratio, lru_hit, partition_hit = row[0], row[1], row[2]
+        # The BGL-style cache wins clearly, not marginally.
+        assert partition_hit > 1.2 * lru_hit, ratio
+        # Higher hit rate must show up as less SSD traffic.
+        assert row[5] < row[4], ratio
+
+
+def test_page_size_tradeoff(run_experiment):
+    result = run_experiment(ext_out_of_core.run_page_sizes)
+    ssd_bytes = [row[1] for row in result.rows]
+    requests = [row[3] for row in result.rows]
+    # Larger pages: more read amplification, fewer NVMe commands.
+    assert ssd_bytes == sorted(ssd_bytes)
+    assert requests == sorted(requests, reverse=True)
+    # The modeled IO time is non-monotonic: tiny pages pay per-command
+    # overhead, huge pages pay amplification.
+    times = [row[4] for row in result.rows]
+    assert min(times) < times[0] and min(times) < times[-1]
+
+
+def test_match_cuts_ssd_traffic(run_experiment):
+    result = run_experiment(ext_out_of_core.run_match_ssd)
+    rows = {row[0]: row for row in result.rows}
+    dgl, fastgl = rows["dgl-ooc"], rows["fastgl-ooc"]
+    # Match keeps the previous batch's rows resident, so FastGL issues
+    # strictly fewer page reads per epoch than the naive OOC baseline...
+    assert fastgl[3] > 0  # rows genuinely reused
+    assert fastgl[1] < dgl[1]
+    assert fastgl[2] < dgl[2]
+    # ...and the prefetch pipeline makes the epoch faster end to end.
+    assert fastgl[5] < dgl[5]
+
+
+def test_end_to_end_under_host_budget(run_experiment):
+    result = run_experiment(ext_out_of_core.run_end_to_end)
+    assert {row[0] for row in result.rows} == {"dgl-ooc", "fastgl-ooc"}
+    for row in result.rows:
+        name, table_mb, budget_mb, cache_mb, epoch_s, batches = row
+        # The budget is genuinely smaller than the feature table, the
+        # page cache stays inside it, and the epoch completes.
+        assert budget_mb < 0.1 * table_mb
+        assert cache_mb <= budget_mb + 1e-9
+        assert epoch_s > 0
+        assert batches > 0

@@ -59,6 +59,19 @@ class CostModelConfig:
     #: bandwidths).
     host_gather_bytes_per_s: float = 80e9
 
+    # --- Out-of-core storage ----------------------------------------------
+    #: NVMe sequential read bandwidth (PCIe 4.0 x4 data-center drive).
+    nvme_read_bytes_per_s: float = 6.8e9
+    #: Per-read-command latency of the drive (device + controller).
+    nvme_read_latency_s: float = 80e-6
+    #: Device IOPS ceiling for page-sized random reads.
+    nvme_iops_limit: float = 1.0e6
+    #: Commands a host-side (bounce-buffer) reader keeps in flight.
+    nvme_host_queue_depth: int = 32
+    #: Commands GPU-initiated direct access keeps in flight (GIDS-style:
+    #: thousands of GPU threads each own an outstanding request).
+    nvme_gpu_queue_depth: int = 4096
+
     # --- Computation ------------------------------------------------------
     #: Fraction of peak FLOPs attainable by the dense update GEMM.
     gemm_efficiency: float = 0.45
@@ -127,6 +140,20 @@ class RunConfig:
     #: fraction of the full feature table instead of the dataset's
     #: leftover-memory budget (the paper's Fig. 10a sweep).
     cache_ratio_override: float | None = None
+    # --- Out-of-core storage tier (SSD-resident feature table) ------------
+    #: Page size of the NVMe-backed feature store.
+    page_bytes: int = 4096
+    #: Host/device memory budget for the page cache; None sizes it as 10%
+    #: of the feature table (the large-graph regime the tier targets).
+    host_memory_bytes: int | None = None
+    #: "direct" = GPU-initiated SSD->GPU reads (GIDS); "bounce" = classic
+    #: SSD->host DRAM->GPU staging.
+    storage_access: str = "direct"
+    #: Page-cache policy: "partition" (BGL-style) or "lru".
+    page_cache_policy: str = "partition"
+    #: Mini-batches of storage reads allowed to run ahead of training when
+    #: the out-of-core pipeline overlaps reads with sampling/compute.
+    storage_prefetch_depth: int = 4
     seed: int = 0
     cost: CostModelConfig = field(default_factory=CostModelConfig)
 

@@ -48,6 +48,16 @@ EXPERIMENTS = {
     "ext_gpu": ("repro.experiments.ext_future", "run_gpu_sensitivity"),
     "ext_samplers": ("repro.experiments.ext_future",
                      "run_sampler_generality"),
+    "ext_ooc_path": ("repro.experiments.ext_out_of_core",
+                     "run_access_paths"),
+    "ext_ooc_cache": ("repro.experiments.ext_out_of_core",
+                      "run_cache_policies"),
+    "ext_ooc_page": ("repro.experiments.ext_out_of_core",
+                     "run_page_sizes"),
+    "ext_ooc_match": ("repro.experiments.ext_out_of_core",
+                      "run_match_ssd"),
+    "ext_ooc_e2e": ("repro.experiments.ext_out_of_core",
+                    "run_end_to_end"),
 }
 
 

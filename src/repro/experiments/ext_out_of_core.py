@@ -1,0 +1,225 @@
+"""Out-of-core extension study: training when features exceed host DRAM.
+
+The paper's evaluation assumes the feature table fits in host memory; at
+true Papers100M/IGB scale it does not. These experiments run the
+Papers100M analogue end-to-end through the SSD tier
+(:mod:`repro.storage`) and measure the design choices of that tier:
+
+* :func:`run_access_paths` — GIDS-style GPU-initiated direct access vs
+  the classic bounce buffer (host-link bytes, IO time).
+* :func:`run_cache_policies` — partition-aware (BGL-style) vs plain LRU
+  page caching across cache ratios.
+* :func:`run_page_sizes` — page size vs read amplification vs command
+  count.
+* :func:`run_match_ssd` — FastGL's Match in front of the storage tier:
+  SSD reads per epoch vs the DGL out-of-core baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import RunConfig
+from repro.experiments.runner import ExperimentResult, epoch_report
+from repro.frameworks import OutOfCoreDGLFramework, OutOfCoreFastGLFramework
+from repro.graph.datasets import get_dataset
+
+#: Host-memory budget as a fraction of the feature table. Below 1.0 the
+#: table cannot be host-resident — the regime this tier exists for.
+BUDGET_RATIOS = (0.02, 0.05, 0.1, 0.2)
+PAGE_SIZES = (1024, 4096, 16384, 65536)
+
+
+def _ooc_config(config: RunConfig | None) -> RunConfig:
+    """Default out-of-core setup: 1 GPU, sparse fanouts (at reproduction
+    scale the dense default saturates every page, hiding cache policy)."""
+    return config or RunConfig(num_gpus=1, batch_size=128, fanouts=(3, 5))
+
+
+def _with_budget(config: RunConfig, dataset_name: str,
+                 ratio: float) -> RunConfig:
+    table = get_dataset(dataset_name, seed=config.seed).features.total_bytes
+    return replace(config, host_memory_bytes=int(ratio * table))
+
+
+def run_access_paths(dataset_name: str = "papers100m",
+                     config: RunConfig | None = None) -> ExperimentResult:
+    """Direct SSD->GPU vs bounce-buffer staging, DGL-ooc and FastGL-ooc."""
+    config = _with_budget(_ooc_config(config), dataset_name, 0.05)
+    result = ExperimentResult(
+        exp_id="ext_ooc_path",
+        title="Out-of-core access path: GPU-initiated direct vs bounce "
+              f"buffer ({dataset_name}, budget 5% of table)",
+        headers=["framework", "access", "io_s", "host_link_MB",
+                 "pcie_feature_MB", "ssd_MB"],
+    )
+    for framework in ("dgl-ooc", "fastgl-ooc"):
+        for access in ("direct", "bounce"):
+            cfg = replace(config, storage_access=access)
+            report = epoch_report(framework, dataset_name, cfg, model="gcn")
+            t = report.transfer
+            result.rows.append([
+                framework, access,
+                report.phases.memory_io,
+                round(t.host_bounce_bytes / 1e6, 2),
+                round(t.feature_bytes / 1e6, 2),
+                round(t.ssd_bytes / 1e6, 2),
+            ])
+    result.notes.append(
+        "expected shape: direct access moves zero bytes through host "
+        "DRAM and completes IO faster (deep GPU-side queues amortize "
+        "NVMe latency; no host gather, no second hop)"
+    )
+    return result
+
+
+def run_cache_policies(dataset_name: str = "papers100m",
+                       ratios=BUDGET_RATIOS,
+                       config: RunConfig | None = None) -> ExperimentResult:
+    """Partition-aware vs LRU page cache across host-memory budgets."""
+    config = _ooc_config(config)
+    result = ExperimentResult(
+        exp_id="ext_ooc_cache",
+        title="Page-cache policy: partition-aware (BGL-style) vs LRU "
+              f"({dataset_name}, DGL-ooc)",
+        headers=["budget_ratio", "lru_hit", "partition_hit", "rel",
+                 "lru_ssd_MB", "partition_ssd_MB"],
+    )
+    for ratio in ratios:
+        cfg = _with_budget(config, dataset_name, ratio)
+        rows = {}
+        for policy in ("lru", "partition"):
+            report = epoch_report(
+                "dgl-ooc", dataset_name,
+                replace(cfg, page_cache_policy=policy), model="gcn",
+            )
+            rows[policy] = report.transfer
+        lru, part = rows["lru"], rows["partition"]
+        rel = (part.page_hit_rate / lru.page_hit_rate
+               if lru.page_hit_rate else float("inf"))
+        result.rows.append([
+            ratio,
+            round(lru.page_hit_rate, 4),
+            round(part.page_hit_rate, 4),
+            round(rel, 2),
+            round(lru.ssd_bytes / 1e6, 2),
+            round(part.ssd_bytes / 1e6, 2),
+        ])
+    result.notes.append(
+        "expected shape: pinning the pages of training-hot partitions "
+        "beats recency at small cache ratios, where LRU thrashes on the "
+        "once-per-batch page scan"
+    )
+    return result
+
+
+def run_page_sizes(dataset_name: str = "papers100m",
+                   sizes=PAGE_SIZES,
+                   config: RunConfig | None = None) -> ExperimentResult:
+    """Page size: read amplification vs NVMe command count."""
+    config = _with_budget(_ooc_config(config), dataset_name, 0.05)
+    result = ExperimentResult(
+        exp_id="ext_ooc_page",
+        title=f"Page-size sweep ({dataset_name}, DGL-ooc, direct access)",
+        headers=["page_bytes", "ssd_MB", "amplification", "ssd_requests",
+                 "io_s"],
+    )
+    for page_bytes in sizes:
+        cfg = replace(config, page_bytes=int(page_bytes))
+        report = epoch_report("dgl-ooc", dataset_name, cfg, model="gcn")
+        t = report.transfer
+        wanted_bytes = t.num_loaded * get_dataset(
+            dataset_name, seed=cfg.seed
+        ).features.bytes_per_node
+        result.rows.append([
+            page_bytes,
+            round(t.ssd_bytes / 1e6, 2),
+            round(t.ssd_bytes / max(1, wanted_bytes), 2),
+            t.ssd_requests,
+            report.phases.memory_io,
+        ])
+    result.notes.append(
+        "expected shape: larger pages cut command count but inflate read "
+        "amplification; the sweet spot sits at a few KiB for scattered "
+        "feature rows"
+    )
+    return result
+
+
+def run_match_ssd(dataset_name: str = "papers100m",
+                  config: RunConfig | None = None) -> ExperimentResult:
+    """Match-Reorder in front of the SSD: pages read per epoch."""
+    config = _with_budget(_ooc_config(config), dataset_name, 0.05)
+    result = ExperimentResult(
+        exp_id="ext_ooc_match",
+        title="SSD traffic per epoch: DGL-ooc vs FastGL-ooc "
+              f"({dataset_name})",
+        headers=["framework", "ssd_pages", "ssd_MB", "rows_reused",
+                 "io_s", "epoch_s"],
+    )
+    for framework in ("dgl-ooc", "fastgl-ooc"):
+        report = epoch_report(framework, dataset_name, config, model="gcn")
+        t = report.transfer
+        result.rows.append([
+            framework, t.ssd_pages, round(t.ssd_bytes / 1e6, 2),
+            t.num_reused, report.phases.memory_io, report.epoch_time,
+        ])
+    result.notes.append(
+        "expected shape: rows resident from the previous batch never "
+        "become page requests, so Match cuts SSD reads, and the "
+        "prefetch pipeline overlaps the remaining reads with "
+        "sampling/compute"
+    )
+    return result
+
+
+def run_end_to_end(dataset_name: str = "papers100m",
+                   budget_ratio: float = 0.08,
+                   config: RunConfig | None = None) -> ExperimentResult:
+    """The acceptance run: a Papers100M analogue whose host-memory budget
+    is far below its feature table, end-to-end through the storage tier."""
+    config = _with_budget(_ooc_config(config), dataset_name, budget_ratio)
+    dataset = get_dataset(dataset_name, seed=config.seed)
+    table = dataset.features.total_bytes
+    result = ExperimentResult(
+        exp_id="ext_ooc_e2e",
+        title=f"Out-of-core end-to-end ({dataset_name}: host budget "
+              f"{budget_ratio:.0%} of the feature table)",
+        headers=["framework", "table_MB", "budget_MB", "cache_MB",
+                 "epoch_s", "batches"],
+    )
+    for cls in (OutOfCoreDGLFramework, OutOfCoreFastGLFramework):
+        framework = cls()
+        report = framework.run_epoch(dataset, config)
+        loader = framework._last_loader
+        resident = loader.cache.resident_bytes(
+            loader.store.page_store.page_bytes
+        )
+        result.rows.append([
+            framework.name,
+            round(table / 1e6, 2),
+            round(config.host_memory_bytes / 1e6, 2),
+            round(resident / 1e6, 2),
+            report.epoch_time,
+            report.num_batches,
+        ])
+    result.notes.append(
+        "the run completes with the page cache strictly inside the "
+        "budget — the feature table itself never becomes host-resident"
+    )
+    return result
+
+
+def run(config: RunConfig | None = None) -> ExperimentResult:
+    """All parts merged for the benchmark harness."""
+    merged = ExperimentResult(
+        exp_id="ext_ooc",
+        title="Out-of-core storage tier studies",
+    )
+    for part in (run_access_paths(config=config),
+                 run_cache_policies(config=config),
+                 run_page_sizes(config=config),
+                 run_match_ssd(config=config),
+                 run_end_to_end(config=config)):
+        merged.notes.append(part.render())
+    return merged

@@ -2,11 +2,15 @@
 
 from repro.frameworks.base import EpochReport, Framework, PhaseTimes
 from repro.frameworks.pyg import PyGFramework
-from repro.frameworks.dgl import DGLFramework
+from repro.frameworks.dgl import DGLFramework, OutOfCoreDGLFramework
 from repro.frameworks.gnnadvisor import GNNAdvisorFramework
 from repro.frameworks.gnnlab import GNNLabFramework
 from repro.frameworks.pagraph import PaGraphFramework
-from repro.frameworks.fastgl import FastGLFramework, fastgl_variant
+from repro.frameworks.fastgl import (
+    FastGLFramework,
+    OutOfCoreFastGLFramework,
+    fastgl_variant,
+)
 
 #: Name -> constructor for the benchmark harness.
 FRAMEWORKS = {
@@ -16,6 +20,8 @@ FRAMEWORKS = {
     "gnnlab": GNNLabFramework,
     "pagraph": PaGraphFramework,
     "fastgl": FastGLFramework,
+    "dgl-ooc": OutOfCoreDGLFramework,
+    "fastgl-ooc": OutOfCoreFastGLFramework,
 }
 
 
@@ -34,10 +40,12 @@ __all__ = [
     "PhaseTimes",
     "PyGFramework",
     "DGLFramework",
+    "OutOfCoreDGLFramework",
     "GNNAdvisorFramework",
     "GNNLabFramework",
     "PaGraphFramework",
     "FastGLFramework",
+    "OutOfCoreFastGLFramework",
     "fastgl_variant",
     "FRAMEWORKS",
     "get_framework",

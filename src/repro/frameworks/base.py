@@ -234,7 +234,9 @@ class Framework:
         )
 
         phases = PhaseTimes()
-        transfer_total = TransferReport()
+        #: Typed like the first report the loader produces, so storage-
+        #: backed loaders keep their SSD counters through the epoch merge.
+        transfer_total: TransferReport | None = None
         compute_total = ComputeReport()
         idmap_total = None
         losses: list = []
@@ -248,7 +250,7 @@ class Framework:
             batches = plan.batches(rngs.child(f"epoch-shuffle:{epoch}"))
             chunks = _chunk(batches, trainers)
             num_batches += len(batches)
-            per_trainer_iters: list = []  # per trainer: (sample, io+comp)
+            per_trainer_iters: list = []  # per trainer: (sample, io, comp)
             for t, chunk in enumerate(chunks):
                 loader = loaders[t]
                 loader.reset_epoch()
@@ -273,13 +275,15 @@ class Framework:
                     phases.memory_io += io_t
                     phases.compute += comp.total_time
                     phases.preprocess += comp.preprocess_time
+                    if transfer_total is None:
+                        transfer_total = type(report)()
                     transfer_total.merge(report)
                     compute_total.merge(comp)
                     idmap_total = (
                         sg.idmap_report if idmap_total is None
                         else idmap_total + sg.idmap_report
                     )
-                    iters.append((sample_t, io_t + comp.total_time))
+                    iters.append((sample_t, io_t, comp.total_time))
                     while len(iteration_log) <= t:
                         iteration_log.append([])
                     iteration_log[t].append(
@@ -316,7 +320,8 @@ class Framework:
             num_batches=num_batches,
             phases=phases,
             epoch_time=epoch_time,
-            transfer=transfer_total,
+            transfer=transfer_total if transfer_total is not None
+            else TransferReport(),
             compute=compute_total,
             idmap_report=idmap_total,
             losses=losses,
@@ -371,8 +376,8 @@ class Framework:
             round_time = 0.0
             for iters in per_trainer_iters:
                 if r < len(iters):
-                    sample_t, rest_t = iters[r]
-                    round_time = max(round_time, sample_t + rest_t)
+                    sample_t, io_t, comp_t = iters[r]
+                    round_time = max(round_time, sample_t + io_t + comp_t)
             total += round_time + sync
         return total
 

@@ -2,13 +2,23 @@
 ID map, naive feature loading and naive aggregation kernels.
 
 This is the paper's primary baseline ('Naive' in Fig. 3) and the base the
-ablation variants build on.
+ablation variants build on. :class:`OutOfCoreDGLFramework` is the same
+strategy bundle with the feature table on SSD — the DGL+UVA/GIDS-style
+baseline for graphs whose features exceed host DRAM.
 """
 
 from __future__ import annotations
 
+from repro.config import RunConfig
 from repro.frameworks.base import Framework
+from repro.graph.datasets import Dataset
 from repro.sampling import BaselineIdMap
+from repro.sampling.base import Sampler
+from repro.transfer.loader import FeatureLoader
+from repro.transfer.storage_loader import (
+    build_storage_loader,
+    page_cache_budget_bytes,
+)
 
 
 class DGLFramework(Framework):
@@ -20,3 +30,28 @@ class DGLFramework(Framework):
 
     def make_idmap(self):
         return BaselineIdMap()
+
+
+class OutOfCoreDGLFramework(DGLFramework):
+    """DGL with an SSD-resident feature table.
+
+    Every input node's rows are requested page-granularly through the
+    storage tier (no Match, no reorder); reads are serial with the rest
+    of the iteration, as in the in-core naive baseline.
+    """
+
+    name = "dgl-ooc"
+
+    def make_loader(self, dataset: Dataset, config: RunConfig,
+                    sampler: Sampler, rng) -> FeatureLoader:
+        loader = build_storage_loader(dataset, config, use_match=False)
+        self._last_loader = loader
+        return loader
+
+    def _extra_device_bytes(self, dataset: Dataset,
+                            config: RunConfig) -> int:
+        # GPU-initiated direct access keeps the page cache in device
+        # memory; the bounce-buffer path keeps it in host DRAM.
+        if config.storage_access == "direct":
+            return page_cache_budget_bytes(dataset, config)
+        return 0

@@ -19,11 +19,17 @@ from __future__ import annotations
 from repro.config import RunConfig
 from repro.frameworks.base import Framework
 from repro.frameworks.gnnlab import _cache_budget
+from repro.gpu.cluster import allreduce_time
 from repro.graph.datasets import Dataset
 from repro.sampling import BaselineIdMap, FusedIdMap
 from repro.sampling.base import Sampler
+from repro.storage.scheduler import storage_pipeline_makespan
 from repro.transfer.cache import PresampleCachePolicy
 from repro.transfer.loader import FeatureLoader, MatchLoader, NaiveLoader
+from repro.transfer.storage_loader import (
+    build_storage_loader,
+    page_cache_budget_bytes,
+)
 
 
 class FastGLFramework(Framework):
@@ -67,6 +73,60 @@ class FastGLFramework(Framework):
     def _extra_device_bytes(self, dataset: Dataset,
                             config: RunConfig) -> int:
         return _cache_budget(dataset, config) if self.use_cache else 0
+
+
+class OutOfCoreFastGLFramework(FastGLFramework):
+    """FastGL with an SSD-resident feature table.
+
+    Match-Reorder now operates *in front of* the storage tier: rows
+    resident from the previous batch never become page requests, so the
+    overlap that used to save PCIe bytes saves SSD reads too. The
+    leftover device memory hosts the page cache (direct-access mode)
+    instead of the in-core row cache, and the IO scheduler overlaps
+    storage reads with sampling and compute through the prefetch queue.
+    """
+
+    name = "fastgl-ooc"
+    #: The in-core presample row cache has no host table to shadow; spare
+    #: memory is spent on the page cache instead.
+    use_cache = False
+
+    def make_loader(self, dataset: Dataset, config: RunConfig,
+                    sampler: Sampler, rng) -> FeatureLoader:
+        loader = build_storage_loader(dataset, config,
+                                      use_match=self.use_match)
+        self._last_loader = loader
+        return loader
+
+    def _extra_device_bytes(self, dataset: Dataset,
+                            config: RunConfig) -> int:
+        if config.storage_access == "direct":
+            return page_cache_budget_bytes(dataset, config)
+        return 0
+
+    def _epoch_time(self, per_trainer_iters, param_bytes, trainers,
+                    config) -> float:
+        """Sample -> storage-read -> train pipeline per lockstep round,
+        bounded by the prefetch queue depth."""
+        rounds = max(len(iters) for iters in per_trainer_iters)
+        sync = (allreduce_time(param_bytes, trainers, config.cost)
+                if trainers > 1 else 0.0)
+        samples, reads, trains = [], [], []
+        for r in range(rounds):
+            sample_max = read_max = train_max = 0.0
+            for iters in per_trainer_iters:
+                if r < len(iters):
+                    sample_t, io_t, comp_t = iters[r]
+                    sample_max = max(sample_max, sample_t)
+                    read_max = max(read_max, io_t)
+                    train_max = max(train_max, comp_t)
+            samples.append(sample_max)
+            reads.append(read_max)
+            trains.append(train_max + sync)
+        return storage_pipeline_makespan(
+            samples, reads, trains,
+            queue_depth=max(1, config.storage_prefetch_depth),
+        )
 
 
 def fastgl_variant(

@@ -75,9 +75,9 @@ class GNNLabFramework(Framework):
             rest_max = 0.0
             for iters in per_trainer_iters:
                 if r < len(iters):
-                    sample_t, rest_t = iters[r]
+                    sample_t, io_t, comp_t = iters[r]
                     sample_sum += sample_t
-                    rest_max = max(rest_max, rest_t)
+                    rest_max = max(rest_max, io_t + comp_t)
             produce.append(sample_sum / samplers)
             consume.append(rest_max + sync)
         return pipeline_epoch_time(produce, consume)

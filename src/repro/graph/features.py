@@ -56,7 +56,7 @@ class FeatureStore(ABC):
     def materialize(self, chunk: int = 65536) -> "MaterializedFeatureStore":
         """Realize the full table in memory (fast repeated gathers for
         training experiments). Chunked to bound peak temporary memory."""
-        table = np.empty((self.num_nodes, self.dim), dtype=np.float32)
+        table = np.empty((self.num_nodes, self.dim), dtype=self.dtype)
         for start in range(0, self.num_nodes, chunk):
             ids = np.arange(start, min(start + chunk, self.num_nodes))
             table[start:start + len(ids)] = self.gather(ids)
@@ -71,8 +71,9 @@ class HashFeatureStore(FeatureStore):
     counts and numerical plausibility matter.
     """
 
-    def __init__(self, num_nodes: int, dim: int, seed: int = 0) -> None:
-        super().__init__(num_nodes, dim)
+    def __init__(self, num_nodes: int, dim: int, seed: int = 0,
+                 dtype: np.dtype = np.float32) -> None:
+        super().__init__(num_nodes, dim, dtype=dtype)
         self.seed = int(seed)
 
     def gather(self, ids: np.ndarray) -> np.ndarray:
@@ -97,10 +98,16 @@ class MaterializedFeatureStore(FeatureStore):
     """A plain in-memory feature table."""
 
     def __init__(self, table: np.ndarray) -> None:
-        table = np.ascontiguousarray(table, dtype=np.float32)
+        table = np.asarray(table)
+        # Keep reduced-precision tables reduced (float16 halves both the
+        # resident bytes and every modeled transfer); only non-float input
+        # is promoted to the float32 default.
+        dtype = (table.dtype if np.issubdtype(table.dtype, np.floating)
+                 else np.dtype(np.float32))
+        table = np.ascontiguousarray(table, dtype=dtype)
         if table.ndim != 2:
             raise ValueError("feature table must be 2-D")
-        super().__init__(table.shape[0], table.shape[1])
+        super().__init__(table.shape[0], table.shape[1], dtype=dtype)
         self.table = table
 
     def gather(self, ids: np.ndarray) -> np.ndarray:

@@ -18,6 +18,11 @@ from repro.transfer.loader import (
     NaiveLoader,
     TransferReport,
 )
+from repro.transfer.storage_loader import (
+    StorageBackedLoader,
+    StorageTransferReport,
+    build_storage_loader,
+)
 
 __all__ = [
     "DegreeCachePolicy",
@@ -28,4 +33,7 @@ __all__ = [
     "MatchLoader",
     "NaiveLoader",
     "TransferReport",
+    "StorageBackedLoader",
+    "StorageTransferReport",
+    "build_storage_loader",
 ]

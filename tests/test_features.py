@@ -57,6 +57,35 @@ class TestMaterializedFeatureStore:
         with pytest.raises(ValueError):
             MaterializedFeatureStore(np.zeros(5))
 
+    def test_preserves_float16(self):
+        table = np.arange(12, dtype=np.float16).reshape(4, 3)
+        store = MaterializedFeatureStore(table)
+        assert store.dtype == np.float16
+        assert store.bytes_per_node == 3 * 2
+        assert store.gather(np.array([1])).dtype == np.float16
+
+    def test_promotes_non_float(self):
+        store = MaterializedFeatureStore(np.arange(12).reshape(4, 3))
+        assert store.dtype == np.float32
+
+
+class TestMaterializeDtype:
+    def test_float16_round_trip(self):
+        """materialize() must honor the store's dtype, not force float32."""
+        store = HashFeatureStore(64, 8, seed=7, dtype=np.float16)
+        assert store.dtype == np.float16
+        mat = store.materialize(chunk=10)
+        assert mat.dtype == np.float16
+        assert mat.table.dtype == np.float16
+        ids = np.array([0, 63, 5, 5, 31])
+        np.testing.assert_array_equal(mat.gather(ids), store.gather(ids))
+        # Halved row bytes flow into the byte accounting.
+        assert mat.bytes_per_node == store.bytes_per_node == 8 * 2
+
+    def test_float32_default_unchanged(self):
+        store = HashFeatureStore(16, 4, seed=1)
+        assert store.materialize().dtype == np.float32
+
 
 class TestPlantedFeatureStore:
     def test_label_correlation(self):

@@ -52,13 +52,13 @@ class TestPhaseTimes:
 class TestLockstepEpochTime:
     def test_single_trainer_is_sum(self):
         fw = DGLFramework()
-        iters = [[(1.0, 2.0), (0.5, 1.5)]]
+        iters = [[(1.0, 1.0, 1.0), (0.5, 0.5, 1.0)]]
         config = RunConfig(num_gpus=1)
         assert fw._epoch_time(iters, 0, 1, config) == pytest.approx(5.0)
 
     def test_two_trainers_lockstep_max(self):
         fw = DGLFramework()
-        iters = [[(1.0, 1.0)], [(2.0, 3.0)]]
+        iters = [[(1.0, 0.5, 0.5)], [(2.0, 1.0, 2.0)]]
         config = RunConfig(num_gpus=2)
         time = fw._epoch_time(iters, 0, 2, config)
         sync = allreduce_time(0, 2, config.cost)
@@ -66,7 +66,8 @@ class TestLockstepEpochTime:
 
     def test_allreduce_added_per_round(self):
         fw = DGLFramework()
-        iters = [[(1.0, 1.0), (1.0, 1.0)], [(1.0, 1.0), (1.0, 1.0)]]
+        iters = [[(1.0, 0.5, 0.5), (1.0, 0.5, 0.5)],
+                 [(1.0, 0.5, 0.5), (1.0, 0.5, 0.5)]]
         config = RunConfig(num_gpus=2)
         grad = 10_000_000
         with_sync = fw._epoch_time(iters, grad, 2, config)
@@ -81,8 +82,8 @@ class TestGNNLabPipeline:
         """Epoch time ~ max(total sampling, total training), not the sum."""
         fw = GNNLabFramework()
         config = RunConfig(num_gpus=2)
-        # 4 rounds, sampling 1s each, training 1s each.
-        iters = [[(1.0, 1.0)] * 4]
+        # 4 rounds, sampling 1s each, io+training 1s each.
+        iters = [[(1.0, 0.5, 0.5)] * 4]
         time = fw._epoch_time(iters, 0, 1, config)
         assert time == pytest.approx(5.0)  # 1 + 4 (pipeline fill + drain)
         serial = 8.0
@@ -101,10 +102,11 @@ class TestGNNLabPipeline:
 
         fw = GNNLabFramework()
         config = RunConfig(num_gpus=2)
-        iters = [[(0.7, 1.3), (1.1, 0.4), (0.2, 0.9), (0.5, 0.5)]]
+        iters = [[(0.7, 0.4, 0.9), (1.1, 0.2, 0.2),
+                  (0.2, 0.4, 0.5), (0.5, 0.25, 0.25)]]
         closed = fw._epoch_time(iters, 0, 1, config)
-        produce = [s for s, _ in iters[0]]
-        consume = [c for _, c in iters[0]]
+        produce = [s for s, _, _ in iters[0]]
+        consume = [io + c for _, io, c in iters[0]]
         simulated = two_stage_makespan_sim(produce, consume)
         assert closed == pytest.approx(simulated)
 

@@ -25,7 +25,8 @@ def config():
 class TestRegistry:
     def test_all_paper_frameworks(self):
         assert set(FRAMEWORKS) == {
-            "pyg", "dgl", "gnnadvisor", "gnnlab", "pagraph", "fastgl"
+            "pyg", "dgl", "gnnadvisor", "gnnlab", "pagraph", "fastgl",
+            "dgl-ooc", "fastgl-ooc",
         }
 
     def test_get_framework(self):

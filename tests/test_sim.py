@@ -129,6 +129,37 @@ class TestTwoStageMakespan:
         b = two_stage_makespan_sim(produce, consume)
         assert a == pytest.approx(b, rel=1e-9)
 
+    @pytest.mark.parametrize("depth", [1, 2, 3, 7])
+    def test_recurrence_matches_event_sim_bounded(self, depth):
+        produce = [1.0, 0.5, 2.0, 0.25, 1.5, 0.75]
+        consume = [3.0, 0.1, 1.0, 2.5, 0.2, 1.25]
+        a = two_stage_makespan(produce, consume, queue_depth=depth)
+        b = two_stage_makespan_sim(produce, consume, queue_depth=depth)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        times=st.lists(
+            st.tuples(st.floats(0.01, 5.0), st.floats(0.01, 5.0)),
+            min_size=1, max_size=12,
+        ),
+        depth=st.integers(1, 6),
+    )
+    def test_bounded_agreement_property(self, times, depth):
+        """Property: recurrence and slot-ring simulation agree for any
+        finite queue depth, and deeper queues never slow the pipeline."""
+        produce = [p for p, _ in times]
+        consume = [c for _, c in times]
+        a = two_stage_makespan(produce, consume, queue_depth=depth)
+        b = two_stage_makespan_sim(produce, consume, queue_depth=depth)
+        assert a == pytest.approx(b, rel=1e-9)
+        unbounded = two_stage_makespan_sim(produce, consume)
+        assert b >= unbounded - 1e-9
+
+    def test_sim_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            two_stage_makespan_sim([1.0], [1.0], queue_depth=0)
+
     def test_lower_bounds(self):
         produce = [1.0, 2.0]
         consume = [3.0, 1.0]
