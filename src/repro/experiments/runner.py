@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from repro.config import RunConfig
 from repro.frameworks import FRAMEWORKS, EpochReport
 from repro.graph.datasets import SHORT_NAMES, get_dataset
+from repro.obs import get_registry
 from repro.utils.format import ascii_series, ascii_table
 
 #: Dataset order used throughout the paper's tables.
@@ -53,10 +54,33 @@ class ExperimentResult:
 
 
 _REPORT_CACHE: dict = {}
+_CACHE_STATS = {"hits": 0, "misses": 0}
 
 
 def clear_report_cache() -> None:
     _REPORT_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def cache_info() -> dict:
+    """``functools``-style statistics of the epoch-report memo, so a
+    rerun's cost (which epochs were recomputed vs served) is explainable."""
+    return {
+        "hits": _CACHE_STATS["hits"],
+        "misses": _CACHE_STATS["misses"],
+        "currsize": len(_REPORT_CACHE),
+    }
+
+
+def _record_cache_access(hit: bool) -> None:
+    _CACHE_STATS["hits" if hit else "misses"] += 1
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "repro_experiment_report_cache_total",
+            "Epoch-report memoization lookups by outcome",
+        ).labels(outcome="hit" if hit else "miss").inc()
 
 
 def epoch_report(
@@ -71,7 +95,10 @@ def epoch_report(
 
     ``framework`` is a name from :data:`repro.frameworks.FRAMEWORKS`, a
     framework class, or an instance. Memoization only applies to the
-    name/class forms with default datasets and samplers.
+    name/class forms with default datasets and samplers; hit/miss
+    counts are visible through :func:`cache_info` and, when
+    observability is on, the ``repro_experiment_report_cache_total``
+    counter.
     """
     cacheable = dataset is None and sampler is None
     if isinstance(framework, str):
@@ -86,7 +113,9 @@ def epoch_report(
         cacheable = False
     key = (key_id, dataset_name, model, config)
     if cacheable and key in _REPORT_CACHE:
+        _record_cache_access(hit=True)
         return _REPORT_CACHE[key]
+    _record_cache_access(hit=False)
     if dataset is None:
         dataset = get_dataset(dataset_name, seed=config.seed)
     report = instance.run_epoch(dataset, config, model_name=model,

@@ -35,6 +35,7 @@ from repro.gpu.spec import GPUSpec, RTX3090
 from repro.graph.datasets import Dataset
 from repro.graph.partition import MinibatchPlan
 from repro.nn import Adam, Tensor, build_model, cross_entropy
+from repro.obs import get_registry
 from repro.sampling import (
     BaselineIdMap,
     NeighborSampler,
@@ -64,15 +65,34 @@ class PhaseTimes:
         """Sum of the three phases plus gradient sync (no overlap)."""
         return self.sample + self.memory_io + self.compute + self.allreduce
 
-    def fractions(self) -> dict:
-        """Phase shares of the serial total (the paper's stacked bars)."""
+    def fractions(self, detail: bool = False) -> dict:
+        """Phase shares of the serial total (the paper's stacked bars).
+
+        The default three-way split folds the ID map into ``sample`` and
+        preprocess + allreduce into ``compute`` (the paper's Fig. 1 view).
+        ``detail=True`` splits those shares out as disjoint components —
+        the stepwise-figure view — so the returned values still sum to
+        1.0 in both modes.
+        """
         total = self.serial_total
+        if not detail:
+            if total == 0:
+                return {"sample": 0.0, "memory_io": 0.0, "compute": 0.0}
+            return {
+                "sample": self.sample / total,
+                "memory_io": self.memory_io / total,
+                "compute": (self.compute + self.allreduce) / total,
+            }
         if total == 0:
-            return {"sample": 0.0, "memory_io": 0.0, "compute": 0.0}
+            return {"sample": 0.0, "idmap": 0.0, "memory_io": 0.0,
+                    "compute": 0.0, "preprocess": 0.0, "allreduce": 0.0}
         return {
-            "sample": self.sample / total,
+            "sample": (self.sample - self.idmap) / total,
+            "idmap": self.idmap / total,
             "memory_io": self.memory_io / total,
-            "compute": (self.compute + self.allreduce) / total,
+            "compute": (self.compute - self.preprocess) / total,
+            "preprocess": self.preprocess / total,
+            "allreduce": self.allreduce / total,
         }
 
 
@@ -134,6 +154,16 @@ def _chunk(batches: list, num_chunks: int) -> list:
         out.append(batches[start:start + size])
         start += size
     return out
+
+
+#: Phase order of one iteration's spans within a timeline lane.
+PHASE_SPAN_ORDER = ("sample", "memory_io", "compute")
+
+
+def _consecutive_match(matrix, order) -> float:
+    """Summed match degree of consecutive pairs under ``order``."""
+    order = list(order)
+    return float(sum(matrix[a][b] for a, b in zip(order, order[1:])))
 
 
 class Framework:
@@ -245,6 +275,24 @@ class Framework:
         epoch_time = 0.0
         num_batches = 0
         iteration_log: list = []  # per trainer: [(sample, io, compute), ...]
+        timeline: list = []  # modeled spans laid out by _epoch_timeline
+
+        # Observability handles, fetched once per epoch run. With the
+        # registry disabled these are the shared no-op singletons, so the
+        # per-batch path below performs only no-op method calls.
+        registry = get_registry()
+        phase_hist = registry.histogram(
+            "repro_phase_seconds",
+            "Modeled per-batch seconds spent in each training phase",
+        )
+        obs_phase = {
+            phase: phase_hist.labels(framework=self.name, phase=phase)
+            for phase in ("sample", "idmap", "memory_io", "compute",
+                          "allreduce")
+        }
+        obs_batches = registry.counter(
+            "repro_batches_total", "Mini-batches processed",
+        ).labels(framework=self.name)
 
         for epoch in range(max(1, config.num_epochs)):
             batches = plan.batches(rngs.child(f"epoch-shuffle:{epoch}"))
@@ -275,6 +323,11 @@ class Framework:
                     phases.memory_io += io_t
                     phases.compute += comp.total_time
                     phases.preprocess += comp.preprocess_time
+                    obs_phase["sample"].observe(sample_t)
+                    obs_phase["idmap"].observe(idmap_t)
+                    obs_phase["memory_io"].observe(io_t)
+                    obs_phase["compute"].observe(comp.total_time)
+                    obs_batches.inc()
                     if transfer_total is None:
                         transfer_total = type(report)()
                     transfer_total.merge(report)
@@ -308,11 +361,19 @@ class Framework:
                         memory_detail = usage
                 per_trainer_iters.append(iters)
 
-            epoch_time += self._epoch_time(per_trainer_iters, param_bytes,
-                                           trainers, config)
-            phases.allreduce += self._allreduce_total(
+            epoch_seconds, epoch_spans = self._epoch_timeline(
                 per_trainer_iters, param_bytes, trainers, config
             )
+            for span in epoch_spans:
+                span["start"] += epoch_time
+            timeline.extend(epoch_spans)
+            epoch_time += epoch_seconds
+            epoch_allreduce = self._allreduce_total(
+                per_trainer_iters, param_bytes, trainers, config
+            )
+            phases.allreduce += epoch_allreduce
+            if epoch_allreduce > 0:
+                obs_phase["allreduce"].observe(epoch_allreduce)
         return EpochReport(
             framework=self.name,
             dataset=dataset.name,
@@ -328,7 +389,8 @@ class Framework:
             memory_peak_bytes=memory_peak,
             memory_detail=memory_detail,
             extras={"iterations": iteration_log,
-                    "num_trainers": trainers},
+                    "num_trainers": trainers,
+                    "timeline": timeline},
         )
 
     # -- helpers ---------------------------------------------------------------
@@ -336,13 +398,29 @@ class Framework:
         """Greedy-reorder each window of ``reorder_window`` mini-batches."""
         order: list = []
         window = max(2, config.reorder_window)
+        registry = get_registry()
+        obs_match = registry.histogram(
+            "repro_reorder_match_degree",
+            "Summed consecutive match degree per reorder window, before "
+            "(order=arrival) and after (order=reordered) Greedy Reorder",
+            buckets=(0.25, 0.5, 1, 2, 4, 8, 16, 32),
+        )
         for start in range(0, len(subgraphs), window):
             group = list(range(start, min(start + window, len(subgraphs))))
             if len(group) > 2:
                 matrix = match_degree_matrix(
                     [subgraphs[i].input_nodes for i in group]
                 )
-                group = [group[i] for i in greedy_reorder(matrix)]
+                chosen = greedy_reorder(matrix)
+                if registry.enabled:
+                    arrival = range(len(group))
+                    obs_match.labels(
+                        framework=self.name, order="arrival",
+                    ).observe(_consecutive_match(matrix, arrival))
+                    obs_match.labels(
+                        framework=self.name, order="reordered",
+                    ).observe(_consecutive_match(matrix, chosen))
+                group = [group[i] for i in chosen]
             order.extend(group)
         return order
 
@@ -366,20 +444,51 @@ class Framework:
 
     def _epoch_time(self, per_trainer_iters, param_bytes, trainers,
                     config) -> float:
-        """Lockstep data-parallel makespan: each round runs one batch per
-        trainer; gradient sync joins the round."""
+        """Modeled epoch wall-clock (the makespan of the epoch timeline)."""
+        seconds, _ = self._epoch_timeline(per_trainer_iters, param_bytes,
+                                          trainers, config)
+        return seconds
+
+    def _epoch_timeline(self, per_trainer_iters, param_bytes, trainers,
+                        config) -> tuple:
+        """Lockstep data-parallel layout: each round runs one batch per
+        trainer; gradient sync joins the round as a collective all lanes
+        attend.
+
+        Returns ``(epoch_seconds, spans)`` where each span is a dict with
+        ``lane``/``name``/``cat``/``start``/``dur`` keys; every lane's
+        final span ends exactly at ``epoch_seconds``, so the exported
+        trace reconciles with the modeled epoch time.
+        """
         rounds = max(len(iters) for iters in per_trainer_iters)
         sync = (allreduce_time(param_bytes, trainers, config.cost)
                 if trainers > 1 else 0.0)
+        spans: list = []
         total = 0.0
         for r in range(rounds):
             round_time = 0.0
-            for iters in per_trainer_iters:
-                if r < len(iters):
-                    sample_t, io_t, comp_t = iters[r]
-                    round_time = max(round_time, sample_t + io_t + comp_t)
+            for lane, iters in enumerate(per_trainer_iters):
+                if r >= len(iters):
+                    continue
+                cursor = total
+                for phase, duration in zip(PHASE_SPAN_ORDER, iters[r]):
+                    if duration > 0:
+                        spans.append({
+                            "lane": f"gpu{lane}", "name": f"{phase}[{r}]",
+                            "cat": phase, "start": cursor, "dur": duration,
+                            "batch": r,
+                        })
+                        cursor += duration
+                round_time = max(round_time, cursor - total)
+            if sync > 0:
+                for lane in range(len(per_trainer_iters)):
+                    spans.append({
+                        "lane": f"gpu{lane}", "name": f"allreduce[{r}]",
+                        "cat": "allreduce", "start": total + round_time,
+                        "dur": sync, "batch": r,
+                    })
             total += round_time + sync
-        return total
+        return total, spans
 
     def _workspace_bytes(self, subgraph: SampledSubgraph, profile, dataset,
                          param_bytes: int, config: RunConfig) -> dict:

@@ -104,10 +104,16 @@ class OutOfCoreFastGLFramework(FastGLFramework):
             return page_cache_budget_bytes(dataset, config)
         return 0
 
-    def _epoch_time(self, per_trainer_iters, param_bytes, trainers,
-                    config) -> float:
+    def _epoch_timeline(self, per_trainer_iters, param_bytes, trainers,
+                        config) -> tuple:
         """Sample -> storage-read -> train pipeline per lockstep round,
-        bounded by the prefetch queue depth."""
+        bounded by the prefetch queue depth.
+
+        The event simulation records every executed stage interval, so
+        the exported timeline shows the actual overlap (one lane per
+        pipeline stage) and its last span ends at the pipelined epoch
+        time.
+        """
         rounds = max(len(iters) for iters in per_trainer_iters)
         sync = (allreduce_time(param_bytes, trainers, config.cost)
                 if trainers > 1 else 0.0)
@@ -123,10 +129,22 @@ class OutOfCoreFastGLFramework(FastGLFramework):
             samples.append(sample_max)
             reads.append(read_max)
             trains.append(train_max + sync)
-        return storage_pipeline_makespan(
+        records: list = []
+        makespan = storage_pipeline_makespan(
             samples, reads, trains,
             queue_depth=max(1, config.storage_prefetch_depth),
+            record=records.append,
         )
+        lane_of = {"sample": "sampler", "memory_io": "nvme",
+                   "compute": "trainers"}
+        spans = [
+            {"lane": lane_of[stage], "name": f"{stage}[{batch}]",
+             "cat": stage, "start": start, "dur": end - start,
+             "batch": batch}
+            for stage, batch, start, end in records
+            if end > start
+        ]
+        return makespan, spans
 
 
 def fastgl_variant(

@@ -11,7 +11,7 @@ graphs, which is exactly where the cache stops helping.
 from __future__ import annotations
 
 from repro.config import RunConfig
-from repro.frameworks.base import Framework, pipeline_epoch_time
+from repro.frameworks.base import Framework
 from repro.gpu.cluster import allreduce_time
 from repro.graph.datasets import Dataset
 from repro.sampling import BaselineIdMap
@@ -61,15 +61,24 @@ class GNNLabFramework(Framework):
                             config: RunConfig) -> int:
         return _cache_budget(dataset, config)
 
-    def _epoch_time(self, per_trainer_iters, param_bytes, trainers,
-                    config) -> float:
+    def _epoch_timeline(self, per_trainer_iters, param_bytes, trainers,
+                        config) -> tuple:
         """Producer/consumer pipeline: sampler GPU(s) produce rounds, the
-        trainer GPUs consume them in lockstep."""
+        trainer GPUs consume them in lockstep.
+
+        The layout replays the same recurrence :func:`pipeline_epoch_time`
+        computes — round ``r``'s consumption begins at
+        ``max(produced_r, consumer_free)`` — so the trainer lanes' final
+        spans end exactly at the pipelined epoch time instead of the
+        serial sum the old trace showed.
+        """
         samplers = self.num_sampler_gpus(config)
         rounds = max(len(iters) for iters in per_trainer_iters)
         sync = (allreduce_time(param_bytes, trainers, config.cost)
                 if trainers > 1 else 0.0)
-        produce, consume = [], []
+        spans: list = []
+        producer_free = 0.0
+        consumer_free = 0.0
         for r in range(rounds):
             sample_sum = 0.0
             rest_max = 0.0
@@ -78,6 +87,36 @@ class GNNLabFramework(Framework):
                     sample_t, io_t, comp_t = iters[r]
                     sample_sum += sample_t
                     rest_max = max(rest_max, io_t + comp_t)
-            produce.append(sample_sum / samplers)
-            consume.append(rest_max + sync)
-        return pipeline_epoch_time(produce, consume)
+            produce = sample_sum / samplers
+            if produce > 0:
+                spans.append({
+                    "lane": "sampler", "name": f"sample[{r}]",
+                    "cat": "sample", "start": producer_free,
+                    "dur": produce, "batch": r,
+                })
+            produced_at = producer_free + produce
+            producer_free = produced_at
+            begin = max(produced_at, consumer_free)
+            for lane, iters in enumerate(per_trainer_iters):
+                if r >= len(iters):
+                    continue
+                _, io_t, comp_t = iters[r]
+                cursor = begin
+                for phase, duration in (("memory_io", io_t),
+                                        ("compute", comp_t)):
+                    if duration > 0:
+                        spans.append({
+                            "lane": f"gpu{lane}", "name": f"{phase}[{r}]",
+                            "cat": phase, "start": cursor, "dur": duration,
+                            "batch": r,
+                        })
+                        cursor += duration
+            if sync > 0:
+                for lane in range(len(per_trainer_iters)):
+                    spans.append({
+                        "lane": f"gpu{lane}", "name": f"allreduce[{r}]",
+                        "cat": "allreduce", "start": begin + rest_max,
+                        "dur": sync, "batch": r,
+                    })
+            consumer_free = begin + rest_max + sync
+        return consumer_free, spans

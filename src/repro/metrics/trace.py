@@ -1,48 +1,76 @@
 """Chrome-trace export of a modeled training epoch.
 
-Converts an :class:`~repro.frameworks.base.EpochReport`'s per-iteration
-phase times into the Chrome tracing JSON format (``chrome://tracing`` /
-Perfetto): one lane per trainer GPU, one span per phase per mini-batch,
-laid out serially within each lane (the non-pipelined execution model the
-breakdown figures assume). Useful for eyeballing where an epoch's time
-goes and for diffing two frameworks' timelines.
+Converts an :class:`~repro.frameworks.base.EpochReport` into the Chrome
+tracing JSON format (``chrome://tracing`` / Perfetto). Reports produced
+by ``run_epoch`` carry the modeled timeline in ``extras["timeline"]`` —
+the exact layout the framework's epoch-time model computed, including
+allreduce spans and any pipeline overlap (GNNLab's factored sampler,
+the out-of-core prefetch pipeline) — so the exported trace's wall-clock
+reconciles with ``EpochReport.epoch_time``. Hand-built reports without a
+timeline fall back to the legacy serial per-lane layout.
+
+The event generation itself is delegated to
+:class:`repro.obs.trace.Tracer`, so modeled epochs and wall-clock spans
+share one exporter.
 """
 
 from __future__ import annotations
 
 import json
 
-PHASES = ("sample", "memory_io", "compute")
-_PHASE_COLORS = {
-    "sample": "thread_state_runnable",
-    "memory_io": "thread_state_iowait",
-    "compute": "thread_state_running",
-}
+from repro.obs.trace import Tracer
+
+PHASES = ("sample", "memory_io", "compute", "allreduce")
 
 
-def epoch_trace_events(report) -> list:
-    """Trace events (dicts) for ``report``; empty if it recorded none."""
-    iterations = report.extras.get("iterations", [])
-    events: list = []
-    for gpu, batches in enumerate(iterations):
+def _tracer_from_timeline(timeline) -> Tracer:
+    tracer = Tracer(enabled=True)
+    for span in timeline:
+        tracer.add_span(
+            span["name"],
+            start=span["start"],
+            duration=span["dur"],
+            lane=span["lane"],
+            category=span["cat"],
+            batch=span.get("batch"),
+            phase=span["cat"],
+        )
+    return tracer
+
+
+def _tracer_from_iterations(report) -> Tracer:
+    """Legacy layout: phases laid out serially within each trainer lane."""
+    tracer = Tracer(enabled=True)
+    for gpu, batches in enumerate(report.extras.get("iterations", [])):
         cursor = 0.0
         for batch_index, phase_times in enumerate(batches):
             for phase, duration in zip(PHASES, phase_times):
                 if duration <= 0:
                     continue
-                events.append({
-                    "name": f"{phase}[{batch_index}]",
-                    "cat": phase,
-                    "ph": "X",  # complete event
-                    "ts": cursor * 1e6,       # microseconds
-                    "dur": duration * 1e6,
-                    "pid": report.framework,
-                    "tid": f"gpu{gpu}",
-                    "cname": _PHASE_COLORS[phase],
-                    "args": {"batch": batch_index, "phase": phase},
-                })
+                tracer.add_span(
+                    f"{phase}[{batch_index}]",
+                    start=cursor,
+                    duration=duration,
+                    lane=f"gpu{gpu}",
+                    category=phase,
+                    batch=batch_index,
+                    phase=phase,
+                )
                 cursor += duration
-    return events
+    return tracer
+
+
+def epoch_tracer(report) -> Tracer:
+    """A :class:`Tracer` holding ``report``'s modeled spans."""
+    timeline = report.extras.get("timeline")
+    if timeline:
+        return _tracer_from_timeline(timeline)
+    return _tracer_from_iterations(report)
+
+
+def epoch_trace_events(report) -> list:
+    """Trace events (dicts) for ``report``; empty if it recorded none."""
+    return epoch_tracer(report).to_chrome_events(pid=report.framework)
 
 
 def write_chrome_trace(path, report) -> int:

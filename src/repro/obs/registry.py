@@ -1,0 +1,308 @@
+"""Labeled metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the sink every instrumented subsystem (frameworks,
+sampling, transfer, storage, sim) reports into. Design constraints:
+
+* **Cheap when disabled.** A disabled registry hands out module-level
+  no-op singletons (:data:`NULL_COUNTER` et al.); the per-batch hot path
+  then performs only attribute calls on a shared object — no allocation,
+  no locking, no dict lookups.
+* **Thread-safe when enabled.** Family/child creation and every
+  ``inc``/``set``/``observe`` are lock-protected (sampler threads and the
+  epoch driver may report concurrently).
+* **Prometheus-shaped.** Metrics are *families* (name, kind, help) with
+  labeled children, so the exporters in :mod:`repro.obs.exporters` map
+   1:1 onto the text exposition format.
+
+Instrumentation is opt-in: the package-default registry starts disabled;
+enable it with :func:`repro.obs.enable` or scope it with
+:func:`repro.obs.instrumented`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+
+class NoopMetric:
+    """Shared do-nothing handle returned by a disabled registry.
+
+    All mutating methods are no-ops and ``labels`` returns ``self``, so
+    instrumented code never needs to branch on whether observability is
+    on. The module-level singletons below are the only instances that
+    should ever exist.
+    """
+
+    __slots__ = ()
+
+    def labels(self, **labelvalues) -> "NoopMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: The shared no-op handles (one per metric kind, for readable reprs in
+#: tests; behaviourally identical).
+NULL_COUNTER = NoopMetric()
+NULL_GAUGE = NoopMetric()
+NULL_HISTOGRAM = NoopMetric()
+
+#: Default histogram buckets, tuned for modeled per-batch phase times
+#: (tens of microseconds to single seconds).
+DEFAULT_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing labeled sample."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Labeled sample that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantile summaries.
+
+    ``buckets`` are the upper bounds of the finite buckets (ascending);
+    an implicit ``+Inf`` bucket catches the overflow. ``quantile``
+    linearly interpolates inside the containing bucket — the usual
+    Prometheus-style estimate, good enough for p50/p95/p99 dashboards.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, buckets=DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self._lock = threading.Lock()
+        self.bounds = bounds
+        #: Per-bucket (non-cumulative) counts; [-1] is the +Inf bucket.
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def cumulative_counts(self) -> list:
+        """Cumulative counts per bound plus the +Inf bucket (last)."""
+        out = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1), interpolated within buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        lower = 0.0
+        for bound, count in zip(self.bounds, self.counts):
+            if running + count >= rank and count > 0:
+                fraction = (rank - running) / count
+                return lower + fraction * (bound - lower)
+            running += count
+            lower = bound
+        # Overflow bucket: no upper bound to interpolate against.
+        return self.bounds[-1]
+
+    def summary(self) -> dict:
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All children of one metric name (same kind, help, bucket layout)."""
+
+    def __init__(self, name: str, kind: str, help: str = "",
+                 buckets=None) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._lock = threading.Lock()
+        self._children: dict = {}
+
+    def labels(self, **labelvalues):
+        """The child for this label set (created on first use)."""
+        key = tuple(sorted((k, str(v)) for k, v in labelvalues.items()))
+        child = self._children.get(key)
+        if child is not None:
+            return child
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == "histogram":
+                    child = Histogram(self.buckets or DEFAULT_BUCKETS)
+                else:
+                    child = _KINDS[self.kind]()
+                self._children[key] = child
+        return child
+
+    def samples(self) -> list:
+        """``(label_dict, child)`` pairs, sorted by label values."""
+        with self._lock:
+            items = sorted(self._children.items())
+        return [(dict(key), child) for key, child in items]
+
+    # -- label-less convenience: the family proxies its default child ------
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+
+class MetricsRegistry:
+    """Factory and container for metric families.
+
+    ``counter``/``gauge``/``histogram`` are idempotent: repeated calls
+    with the same name return the same family (and raise if the kind
+    changed). A disabled registry returns the shared no-op singletons
+    instead, so instrumented code pays a single boolean check.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._families: dict = {}
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def _family(self, name: str, kind: str, help: str,
+                buckets=None) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = MetricFamily(name, kind, help, buckets=buckets)
+                    self._families[name] = family
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"not {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = ""):
+        if not self.enabled:
+            return NULL_COUNTER
+        return self._family(name, "counter", help)
+
+    def gauge(self, name: str, help: str = ""):
+        if not self.enabled:
+            return NULL_GAUGE
+        return self._family(name, "gauge", help)
+
+    def histogram(self, name: str, help: str = "", buckets=None):
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        return self._family(name, "histogram", help, buckets=buckets)
+
+    def collect(self) -> list:
+        """All families, sorted by name (exporter order)."""
+        with self._lock:
+            families = sorted(self._families.values(),
+                              key=lambda f: f.name)
+        return families
+
+    def reset(self) -> None:
+        """Drop every registered family (tests, epoch boundaries)."""
+        with self._lock:
+            self._families.clear()
+
+
+# -- package-default registry ------------------------------------------------
+_default_registry = MetricsRegistry(enabled=False)
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (disabled until opted in)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the default; returns the previous one."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous

@@ -1,0 +1,199 @@
+"""Perf-regression gate over the observability metrics.
+
+Replays a small, fully deterministic instrumented suite — one epoch each
+of the DGL baseline, FastGL, and out-of-core FastGL on a self-contained
+synthetic dataset — and compares every collected metric against a
+committed baseline snapshot. All tracked values are *modeled* (counted
+work converted to seconds under the fixed cost model) or pure counts, so
+the suite produces bit-identical numbers across runs and platforms; any
+drift is a real behavioral change in sampling, caching, transfer
+planning, or the cost model, not noise.
+
+Usage::
+
+    python -m repro.obs.regress --baseline benchmarks/results/baseline.json
+    python -m repro.obs.regress --baseline ... --write   # refresh baseline
+
+Exit status is nonzero when any metric is missing or drifts past its
+tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs import flatten_snapshot, instrumented, to_snapshot
+
+#: Relative drift allowed per metric unless the baseline overrides it.
+DEFAULT_TOLERANCE = 0.05
+
+#: Frameworks the suite exercises; together they touch every
+#: instrumented subsystem (sampling, ID map, transfer, storage, sim).
+SUITE_FRAMEWORKS = ("dgl", "fastgl", "fastgl-ooc")
+
+
+def _suite_dataset():
+    """A tiny self-contained dataset; never reads the named registry."""
+    from repro.graph.datasets import Dataset, DatasetSpec, PaperScale
+
+    spec = DatasetSpec(
+        name="obs-regress",
+        num_nodes=3000,
+        avg_degree=12.0,
+        feature_dim=32,
+        num_classes=8,
+        train_fraction=0.2,
+        # Paper-scale stand-in sized so the cache budget covers ~25% of
+        # the feature table — enough for hits and misses to both occur.
+        paper=PaperScale(30_000, 360_000, 1_000_000),
+    )
+    return Dataset(spec, seed=0)
+
+
+def _suite_config():
+    from repro.config import RunConfig
+
+    return RunConfig(
+        batch_size=128,
+        fanouts=(5, 5),
+        num_gpus=2,
+        reorder_window=8,
+        seed=0,
+    )
+
+
+def collect_benchmark_metrics():
+    """Run the instrumented suite; returns the metrics snapshot (dict)."""
+    from repro.frameworks import FRAMEWORKS
+
+    dataset = _suite_dataset()
+    config = _suite_config()
+    with instrumented() as registry:
+        for name in SUITE_FRAMEWORKS:
+            FRAMEWORKS[name]().run_epoch(dataset, config, model_name="gcn")
+        return to_snapshot(registry)
+
+
+def build_baseline(snapshot: dict,
+                   default_tolerance: float = DEFAULT_TOLERANCE) -> dict:
+    """Baseline document from a snapshot: flat metric values + tolerance."""
+    return {
+        "suite": list(SUITE_FRAMEWORKS),
+        "default_tolerance": default_tolerance,
+        "metrics": {
+            name: {"value": value}
+            for name, value in sorted(flatten_snapshot(snapshot).items())
+        },
+    }
+
+
+def check(snapshot: dict, baseline: dict) -> list:
+    """Compare ``snapshot`` against ``baseline``; returns violations.
+
+    Each violation is a dict with ``metric``, ``reason`` and the values
+    involved. A metric violates when it is absent from the snapshot or
+    its relative drift from the baseline value exceeds the metric's
+    tolerance (``tolerance`` per metric, else the baseline's
+    ``default_tolerance``). Metrics present only in the snapshot are
+    new, not regressions, and are ignored.
+    """
+    current = flatten_snapshot(snapshot)
+    default_tol = float(baseline.get("default_tolerance", DEFAULT_TOLERANCE))
+    violations = []
+    for name, entry in baseline.get("metrics", {}).items():
+        expected = float(entry["value"])
+        tolerance = float(entry.get("tolerance", default_tol))
+        if name not in current:
+            violations.append({
+                "metric": name,
+                "reason": "missing",
+                "expected": expected,
+            })
+            continue
+        actual = float(current[name])
+        drift = abs(actual - expected) / max(abs(expected), 1e-12)
+        if drift > tolerance:
+            violations.append({
+                "metric": name,
+                "reason": "drift",
+                "expected": expected,
+                "actual": actual,
+                "drift": drift,
+                "tolerance": tolerance,
+            })
+    return violations
+
+
+def format_violation(violation: dict) -> str:
+    if violation["reason"] == "missing":
+        return (f"MISSING {violation['metric']} "
+                f"(baseline {violation['expected']:g})")
+    return (f"DRIFT   {violation['metric']}: "
+            f"{violation['expected']:g} -> {violation['actual']:g} "
+            f"({violation['drift']:+.1%} vs tolerance "
+            f"{violation['tolerance']:.1%})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="Run the deterministic metrics suite and gate on drift "
+                    "against a committed baseline.",
+    )
+    parser.add_argument(
+        "--baseline", default="benchmarks/results/baseline.json",
+        help="baseline JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="write/refresh the baseline from this run instead of checking",
+    )
+    parser.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="also write the raw metrics snapshot JSON to PATH",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="default relative tolerance when writing a baseline "
+             "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = collect_benchmark_metrics()
+    if args.snapshot:
+        with open(args.snapshot, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"wrote snapshot: {args.snapshot}")
+
+    if args.write:
+        baseline = build_baseline(snapshot, default_tolerance=args.tolerance)
+        with open(args.baseline, "w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote baseline: {args.baseline} "
+              f"({len(baseline['metrics'])} metrics)")
+        return 0
+
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; create one with --write",
+              file=sys.stderr)
+        return 2
+
+    violations = check(snapshot, baseline)
+    checked = len(baseline.get("metrics", {}))
+    if violations:
+        print(f"{len(violations)} of {checked} metrics regressed:")
+        for violation in violations:
+            print("  " + format_violation(violation))
+        return 1
+    print(f"ok: {checked} metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import CostModelConfig, DEFAULT_COST_MODEL
+from repro.obs import get_registry
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,43 @@ class IdMapReport:
             + self.sync_events * cost.sync_cost_per_unique_s
             + self.lookups / cost.table_lookups_per_s
         )
+
+
+def record_idmap_metrics(kind: str, report: "IdMapReport") -> None:
+    """Report one ID-map invocation's counted work to the registry.
+
+    ``kind`` labels the implementation ("baseline", "fused", "cpu").
+    Probe length is the average linear-probe displacement per insertion —
+    the open-addressing collision signal the paper's Fused-Map analysis
+    (Table 8) is built on.
+    """
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    labels = {"idmap": kind}
+    registry.counter(
+        "repro_idmap_ids_total", "Input IDs mapped (with duplicates)",
+    ).labels(**labels).inc(report.num_input_ids)
+    registry.counter(
+        "repro_idmap_unique_total", "Unique IDs assigned local slots",
+    ).labels(**labels).inc(report.num_unique)
+    registry.counter(
+        "repro_idmap_cas_ops_total", "atomicCAS executions",
+    ).labels(**labels).inc(report.cas_ops)
+    registry.counter(
+        "repro_idmap_probe_retries_total",
+        "Hash-table collisions (linear-probe retries past occupied slots)",
+    ).labels(**labels).inc(report.probe_retries)
+    registry.counter(
+        "repro_idmap_sync_events_total",
+        "Thread-synchronization events (zero for Fused-Map)",
+    ).labels(**labels).inc(report.sync_events)
+    if report.cas_ops > 0:
+        registry.histogram(
+            "repro_idmap_probe_length",
+            "Average probe displacement per hash-table insertion",
+            buckets=(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8),
+        ).labels(**labels).observe(report.probe_retries / report.cas_ops)
 
 
 @dataclass

@@ -23,6 +23,7 @@ from repro.sampling.idmap.base import (
     IdMapReport,
     MapResult,
     first_occurrence_unique,
+    record_idmap_metrics,
 )
 from repro.sampling.idmap.hash_table import estimate_probe_stats, table_capacity
 
@@ -55,6 +56,7 @@ class BaselineIdMap(IdMap):
             kernel_launches=3,
             device="gpu",
         )
+        record_idmap_metrics("baseline", report)
         return MapResult(unique_globals=unique, locals_of_input=inverse,
                          report=report)
 
@@ -73,5 +75,6 @@ class CpuIdMap(IdMap):
             kernel_launches=0,
             device="cpu",
         )
+        record_idmap_metrics("cpu", report)
         return MapResult(unique_globals=unique, locals_of_input=inverse,
                          report=report)

@@ -24,6 +24,7 @@ from repro.sampling.idmap.base import (
     IdMapReport,
     MapResult,
     first_occurrence_unique,
+    record_idmap_metrics,
 )
 from repro.sampling.idmap.hash_table import (
     ExactOpenAddressTable,
@@ -61,6 +62,7 @@ class FusedIdMap(IdMap):
             kernel_launches=2,  # fused construct+assign, then translate
             device="gpu",
         )
+        record_idmap_metrics("fused", report)
         return MapResult(unique_globals=unique, locals_of_input=inverse,
                          report=report)
 

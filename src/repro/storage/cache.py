@@ -58,6 +58,30 @@ class PageCache:
         self.misses = 0
         self.evictions = 0
 
+    def observe_into(self, registry, **labels) -> None:
+        """Publish the cache's cumulative counters as registry gauges.
+
+        Gauges (not counters) because the cache owns the authoritative
+        tallies and this pushes their *current* values — callers may
+        publish after every mini-batch or once per epoch, idempotently.
+        """
+        if not registry.enabled:
+            return
+        labels.setdefault("policy", type(self).__name__)
+        for name, help_text, value in (
+            ("repro_page_cache_hits",
+             "Cumulative page-cache hits", self.hits),
+            ("repro_page_cache_misses",
+             "Cumulative page-cache misses", self.misses),
+            ("repro_page_cache_evictions",
+             "Cumulative page-cache evictions", self.evictions),
+            ("repro_page_cache_resident_pages",
+             "Pages currently resident in the cache", self.num_resident),
+            ("repro_page_cache_hit_rate",
+             "Cumulative page-cache hit rate", self.hit_rate),
+        ):
+            registry.gauge(name, help_text).labels(**labels).set(value)
+
     def lookup(self, page_id: int):
         """Return the cached frame (may be ``None``) or :data:`MISS`."""
         raise NotImplementedError

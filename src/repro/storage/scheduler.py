@@ -20,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.sim.events import EventLoop
 from repro.storage.cache import MISS, PageCache
 from repro.storage.page_store import PageStore
@@ -112,7 +113,56 @@ class IOScheduler:
             ssd_requests=self.coalesced_requests(misses),
             ssd_bytes=len(misses) * self.page_store.page_bytes,
         )
+        self._observe_plan(plan)
         return plan, frames
+
+    def _observe_plan(self, plan: IOPlan) -> None:
+        """Report one submit()'s accounting to the metrics registry."""
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        handles = self._obs_handles(registry)
+        handles["page_hits"].inc(plan.page_hits)
+        handles["page_misses"].inc(plan.page_misses)
+        handles["ssd_requests"].inc(plan.ssd_requests)
+        handles["ssd_bytes"].inc(plan.ssd_bytes)
+        if plan.ssd_requests > 0:
+            handles["coalesce"].observe(
+                plan.page_misses / plan.ssd_requests
+            )
+        self.cache.observe_into(registry)
+
+    def _obs_handles(self, registry) -> dict:
+        """Per-scheduler metric handles, cached per registry instance."""
+        cached = getattr(self, "_obs_cache", None)
+        if cached is not None and cached[0] is registry:
+            return cached[1]
+        labels = {"policy": type(self.cache).__name__}
+        handles = {
+            "page_hits": registry.counter(
+                "repro_storage_page_hits_total",
+                "Page requests served from the page cache",
+            ).labels(**labels),
+            "page_misses": registry.counter(
+                "repro_storage_page_misses_total",
+                "Page requests that went to the drive",
+            ).labels(**labels),
+            "ssd_requests": registry.counter(
+                "repro_storage_ssd_requests_total",
+                "NVMe read commands issued after coalescing",
+            ).labels(**labels),
+            "ssd_bytes": registry.counter(
+                "repro_storage_ssd_bytes_total",
+                "Bytes read off the drive (full pages)",
+            ).labels(**labels),
+            "coalesce": registry.histogram(
+                "repro_storage_coalesce_pages_per_command",
+                "Missing pages folded into each NVMe command",
+                buckets=(1, 1.5, 2, 3, 4, 6, 8, 12, 16),
+            ).labels(**labels),
+        }
+        self._obs_cache = (registry, handles)
+        return handles
 
 
 def storage_pipeline_makespan(
@@ -120,6 +170,7 @@ def storage_pipeline_makespan(
     read_times: Sequence[float],
     train_times: Sequence[float],
     queue_depth: int | None = None,
+    record=None,
 ) -> float:
     """Makespan of the sample -> storage-read -> train pipeline.
 
@@ -128,6 +179,13 @@ def storage_pipeline_makespan(
     through them in order, and at most ``queue_depth`` batches may be
     past sampling but not yet trained (the prefetch buffer). Built on the
     event engine so storage reads genuinely overlap the other stages.
+
+    ``record``, when given, is called as ``record((stage, batch, start,
+    end))`` for every executed stage interval — the hook the timeline
+    exporter uses to lay the overlapped epoch out faithfully. When
+    observability is enabled, per-stage stall seconds (makespan minus
+    busy time) and the prefetch-queue occupancy at each batch admission
+    are reported to the metrics registry.
     """
     if not len(sample_times) == len(read_times) == len(train_times):
         raise ValueError("stage time lists must have equal length")
@@ -137,21 +195,44 @@ def storage_pipeline_makespan(
     if n == 0:
         return 0.0
     loop = EventLoop()
-    stages = [loop.resource(name) for name in ("sampler", "io", "trainer")]
+    stage_names = ("sample", "memory_io", "compute")
+    stages = [loop.resource(name) for name in stage_names]
     times = (sample_times, read_times, train_times)
     slots = ([loop.resource(f"slot{j}") for j in range(queue_depth)]
              if queue_depth is not None else None)
+    registry = get_registry()
+    occupancy_hist = registry.histogram(
+        "repro_storage_queue_occupancy",
+        "Batches in flight (sampled but not yet trained) at admission",
+        buckets=(1, 2, 4, 8, 16, 32, 64),
+    ).labels(pipeline="storage")
+    in_flight = [0]
 
     def batch(i: int):
         if slots is not None:
             yield slots[i % queue_depth].acquire()
+        in_flight[0] += 1
+        occupancy_hist.observe(in_flight[0])
         for stage, stage_times in zip(stages, times):
             yield stage.acquire()
+            start = loop.now
             yield float(stage_times[i])
+            if record is not None:
+                record((stage.name, i, start, loop.now))
             stage.release()
+        in_flight[0] -= 1
         if slots is not None:
             slots[i % queue_depth].release()
 
     for i in range(n):
         loop.spawn(batch(i))
-    return loop.run()
+    makespan = loop.run()
+    if registry.enabled and makespan > 0:
+        stalls = registry.counter(
+            "repro_pipeline_stall_seconds_total",
+            "Modeled seconds a pipeline stage spent waiting on the other",
+        )
+        for name, stage_times in zip(stage_names, times):
+            idle = makespan - float(sum(stage_times))
+            stalls.labels(pipeline="storage", stage=name).inc(max(0.0, idle))
+    return makespan

@@ -25,6 +25,7 @@ from repro.config import CostModelConfig, DEFAULT_COST_MODEL
 from repro.core.match import MatchState
 from repro.gpu.pcie import PCIeLink
 from repro.graph.features import FeatureStore
+from repro.obs import get_registry
 from repro.sampling.subgraph import SampledSubgraph
 from repro.transfer.cache import StaticFeatureCache
 
@@ -80,9 +81,63 @@ class FeatureLoader(ABC):
     def reset_epoch(self) -> None:
         """Hook: drop any cross-batch state at epoch boundaries."""
 
-    @abstractmethod
     def plan(self, subgraph: SampledSubgraph) -> TransferReport:
-        """Decide what to load for ``subgraph`` (byte accounting only)."""
+        """Decide what to load for ``subgraph`` (byte accounting only).
+
+        Template method: the strategy lives in :meth:`_plan`; this
+        wrapper additionally reports the plan's accounting to the
+        metrics registry when observability is enabled.
+        """
+        report = self._plan(subgraph)
+        registry = get_registry()
+        if registry.enabled:
+            handles = self._obs_handles(registry)
+            handles["feature_bytes"].inc(report.feature_bytes)
+            handles["structure_bytes"].inc(report.structure_bytes)
+            handles["rows_wanted"].inc(report.num_wanted)
+            handles["rows_loaded"].inc(report.num_loaded)
+            handles["rows_reused"].inc(report.num_reused)
+            handles["cache_hits"].inc(report.num_cache_hits)
+        return report
+
+    @abstractmethod
+    def _plan(self, subgraph: SampledSubgraph) -> TransferReport:
+        """Strategy hook: the actual per-mini-batch load decision."""
+
+    def _obs_handles(self, registry) -> dict:
+        """Per-loader metric handles, cached per registry instance."""
+        cached = getattr(self, "_obs_cache", None)
+        if cached is not None and cached[0] is registry:
+            return cached[1]
+        labels = {"loader": type(self).__name__}
+        handles = {
+            "feature_bytes": registry.counter(
+                "repro_transfer_feature_bytes_total",
+                "Feature bytes crossing the host link",
+            ).labels(**labels),
+            "structure_bytes": registry.counter(
+                "repro_transfer_structure_bytes_total",
+                "Subgraph-topology bytes crossing the host link",
+            ).labels(**labels),
+            "rows_wanted": registry.counter(
+                "repro_transfer_rows_wanted_total",
+                "Feature rows each mini-batch needed",
+            ).labels(**labels),
+            "rows_loaded": registry.counter(
+                "repro_transfer_rows_loaded_total",
+                "Feature rows actually transferred",
+            ).labels(**labels),
+            "rows_reused": registry.counter(
+                "repro_transfer_rows_reused_total",
+                "Rows reused from the previous batch (Match)",
+            ).labels(**labels),
+            "cache_hits": registry.counter(
+                "repro_transfer_cache_hits_total",
+                "Rows served from the device feature cache",
+            ).labels(**labels),
+        }
+        self._obs_cache = (registry, handles)
+        return handles
 
     def load(self, subgraph: SampledSubgraph) -> tuple:
         """Like :meth:`plan` but also gathers the real feature rows for the
@@ -103,7 +158,7 @@ class FeatureLoader(ABC):
 class NaiveLoader(FeatureLoader):
     """Load every input node's features (DGL/PyG behaviour)."""
 
-    def plan(self, subgraph: SampledSubgraph) -> TransferReport:
+    def _plan(self, subgraph: SampledSubgraph) -> TransferReport:
         report = self._base_report(subgraph)
         report.num_loaded = subgraph.num_nodes
         report.feature_bytes = subgraph.num_nodes * self.store.bytes_per_node
@@ -117,7 +172,7 @@ class CachedLoader(FeatureLoader):
         super().__init__(store)
         self.cache = cache
 
-    def plan(self, subgraph: SampledSubgraph) -> TransferReport:
+    def _plan(self, subgraph: SampledSubgraph) -> TransferReport:
         report = self._base_report(subgraph)
         hits, misses = self.cache.partition(subgraph.input_nodes)
         report.num_cache_hits = len(hits)
@@ -140,7 +195,7 @@ class MatchLoader(FeatureLoader):
     def reset_epoch(self) -> None:
         self._state.reset()
 
-    def plan(self, subgraph: SampledSubgraph) -> TransferReport:
+    def _plan(self, subgraph: SampledSubgraph) -> TransferReport:
         report = self._base_report(subgraph)
         result = self._state.step(subgraph.input_nodes)
         report.num_reused = result.num_reused

@@ -139,7 +139,7 @@ class StorageBackedLoader(FeatureLoader):
         if self._state is not None:
             self._state.reset()
 
-    def plan(self, subgraph: SampledSubgraph) -> StorageTransferReport:
+    def _plan(self, subgraph: SampledSubgraph) -> StorageTransferReport:
         report = StorageTransferReport(
             num_wanted=subgraph.num_nodes,
             structure_bytes=subgraph.structure_bytes(),

@@ -1,0 +1,169 @@
+"""Tests for the Prometheus/JSON exporters and the Chrome-trace round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    flatten_snapshot,
+    spans_from_chrome_events,
+    to_prometheus,
+    to_snapshot,
+    write_snapshot,
+)
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_hits_total", "Hit count").labels(
+        framework="fastgl", phase="sample").inc(7)
+    registry.gauge("repro_ratio", "A ratio").set(0.25)
+    hist = registry.histogram("repro_latency_seconds", "Latency",
+                              buckets=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.005, 0.005, 0.05, 5.0):
+        hist.labels(op="read").observe(value)
+    return registry
+
+
+class TestPrometheus:
+    def test_help_and_type_lines(self, registry):
+        text = to_prometheus(registry)
+        assert "# HELP repro_hits_total Hit count\n" in text
+        assert "# TYPE repro_hits_total counter\n" in text
+        assert "# TYPE repro_latency_seconds histogram\n" in text
+        assert text.endswith("\n")
+
+    def test_counter_sample_with_sorted_labels(self, registry):
+        text = to_prometheus(registry)
+        # Label names are emitted in sorted order regardless of call order.
+        assert 'repro_hits_total{framework="fastgl",phase="sample"} 7' in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c").labels(path='a\\b\n"q"').inc()
+        text = to_prometheus(registry)
+        assert 'c{path="a\\\\b\\n\\"q\\""} 1' in text
+
+    def test_help_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "line one\nline two")
+        assert "# HELP c line one\\nline two\n" in to_prometheus(registry)
+
+    def test_histogram_buckets_cumulative_with_inf(self, registry):
+        lines = [l for l in to_prometheus(registry).splitlines()
+                 if l.startswith("repro_latency_seconds")]
+        buckets = [l for l in lines if "_bucket" in l]
+        assert buckets == [
+            'repro_latency_seconds_bucket{op="read",le="0.001"} 1',
+            'repro_latency_seconds_bucket{op="read",le="0.01"} 3',
+            'repro_latency_seconds_bucket{op="read",le="0.1"} 4',
+            'repro_latency_seconds_bucket{op="read",le="+Inf"} 5',
+        ]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+        assert counts == sorted(counts)  # cumulative => monotone
+        assert 'repro_latency_seconds_count{op="read"} 5' in lines
+        sum_line, = (l for l in lines if l.startswith(
+            "repro_latency_seconds_sum"))
+        assert float(sum_line.rsplit(" ", 1)[1]) == pytest.approx(5.0605)
+
+    def test_large_integers_render_exactly(self):
+        registry = MetricsRegistry()
+        registry.counter("bytes_total").inc(123_456_789_012)
+        assert "bytes_total 123456789012\n" in to_prometheus(registry)
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestSnapshot:
+    def test_structure_and_flatten(self, registry):
+        snapshot = to_snapshot(registry)
+        assert snapshot["version"] == 1
+        by_name = {m["name"]: m for m in snapshot["metrics"]}
+        hist_sample = by_name["repro_latency_seconds"]["samples"][0]
+        assert hist_sample["buckets"][-1] == ["+Inf", 5]
+        assert hist_sample["count"] == 5
+        assert {"p50", "p95", "p99"} <= set(hist_sample)
+
+        flat = flatten_snapshot(snapshot)
+        assert flat['repro_hits_total{framework="fastgl",phase="sample"}'] == 7
+        assert flat["repro_ratio"] == 0.25
+        assert flat['repro_latency_seconds_count{op="read"}'] == 5
+        assert flat['repro_latency_seconds_sum{op="read"}'] == pytest.approx(
+            5.0605)
+
+    def test_snapshot_is_json_roundtrippable(self, registry, tmp_path):
+        path = tmp_path / "snap.json"
+        written = write_snapshot(path, registry)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded == written
+        assert flatten_snapshot(loaded) == flatten_snapshot(written)
+
+
+class TestTracerRoundTrip:
+    def test_nested_spans_survive_chrome_roundtrip(self):
+        ticks = iter([0.0, 1.0, 2.0, 5.0, 6.0, 9.0, 10.0, 20.0])
+        tracer = Tracer(clock=lambda: next(ticks))
+        with tracer.span("epoch", category="compute", lane="gpu0"):
+            with tracer.span("batch0", lane="gpu0", batch=0):
+                pass  # 1.0 .. 2.0
+            with tracer.span("batch1", lane="gpu0", batch=1):
+                pass  # 5.0 .. 6.0
+        with tracer.span("io", category="memory_io", lane="gpu1"):
+            pass  # 10.0 .. 20.0
+
+        events = tracer.to_chrome_events(pid="test")
+        payload = json.loads(json.dumps({"traceEvents": events}))
+        spans = spans_from_chrome_events(payload["traceEvents"])
+
+        by_name = {s.name: s for s in spans}
+        assert by_name["epoch"].depth == 0
+        assert by_name["batch0"].depth == 1
+        assert by_name["batch1"].depth == 1
+        assert by_name["batch0"].args == {"batch": 0}
+        assert by_name["epoch"].start == pytest.approx(0.0)
+        assert by_name["epoch"].duration == pytest.approx(9.0)
+        assert by_name["io"].lane == "gpu1"
+        assert by_name["io"].category == "memory_io"
+
+        # Sorted order: lanes grouped, parents before their children.
+        names = [s.name for s in spans]
+        assert names == ["epoch", "batch0", "batch1", "io"]
+
+    def test_modeled_spans_and_lane_totals(self):
+        tracer = Tracer()
+        tracer.add_span("a", start=0.0, duration=2.0, lane="gpu0",
+                        category="sample")
+        tracer.add_span("b", start=2.0, duration=3.0, lane="gpu0",
+                        category="compute")
+        tracer.add_span("c", start=0.0, duration=4.0, lane="gpu1",
+                        category="compute")
+        assert tracer.lane_totals() == {"gpu0": 5.0, "gpu1": 4.0}
+        events = tracer.to_chrome_events()
+        assert [e["ts"] for e in events] == [0.0, 2e6, 0.0]
+        assert all(e["ph"] == "X" for e in events)
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x"):
+            pass
+        tracer.add_span("y", start=0.0, duration=1.0)
+        assert tracer.spans == []
+        assert tracer.to_chrome_events() == []
+
+    def test_write_chrome_trace(self, tmp_path):
+        tracer = Tracer()
+        tracer.add_span("a", start=0.0, duration=1.0, lane="gpu0",
+                        category="sample")
+        path = tmp_path / "trace.json"
+        count = tracer.write_chrome_trace(path, pid="p",
+                                          other_data={"k": "v"})
+        assert count == 1
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["otherData"] == {"k": "v"}
+        assert payload["traceEvents"][0]["pid"] == "p"

@@ -1,0 +1,194 @@
+"""Tests for the metrics registry: metric kinds, labels, disabled mode."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    get_registry,
+    instrumented,
+    set_registry,
+)
+from repro.obs.registry import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        counter = Counter()
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+
+class TestHistogram:
+    def test_bucket_counts(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [1, 2, 1, 1]  # last is the +Inf bucket
+        assert hist.cumulative_counts() == [1, 3, 4, 5]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(106.5)
+
+    def test_boundary_value_lands_in_le_bucket(self):
+        # Prometheus buckets are `le` (inclusive upper bounds).
+        hist = Histogram(buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.counts == [1, 0, 0]
+
+    def test_quantiles_interpolate(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 2.5, 3.5):
+            hist.observe(value)
+        # p50 falls at the boundary of the second bucket (rank 2 of 4).
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) == pytest.approx(4.0)
+        summary = hist.summary()
+        assert set(summary) == {"p50", "p95", "p99"}
+
+    def test_quantile_of_empty_is_zero(self):
+        assert Histogram(buckets=(1.0,)).quantile(0.5) == 0.0
+
+    def test_overflow_quantile_clamps_to_top_bound(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        hist.observe(50.0)
+        assert hist.quantile(0.99) == 2.0
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0,)).quantile(1.5)
+
+
+class TestFamilies:
+    def test_labels_create_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total", "help")
+        family.labels(kind="a").inc()
+        family.labels(kind="a").inc()
+        family.labels(kind="b").inc(3)
+        values = {tuple(labels.items()): child.value
+                  for labels, child in family.samples()}
+        assert values == {(("kind", "a"),): 2.0, (("kind", "b"),): 3.0}
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c")
+        family.labels(a="1", b="2").inc()
+        family.labels(b="2", a="1").inc()
+        assert len(family.samples()) == 1
+
+    def test_labelless_proxy(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        values = {f.name: f.samples()[0][1] for f in registry.collect()}
+        assert values["c"].value == 2.0
+        assert values["g"].value == 5.0
+        assert values["h"].count == 1
+
+    def test_idempotent_and_kind_checked(self):
+        registry = MetricsRegistry()
+        first = registry.counter("m")
+        assert registry.counter("m") is first
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+    def test_collect_sorted_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("z")
+        registry.counter("a")
+        assert [f.name for f in registry.collect()] == ["a", "z"]
+        registry.reset()
+        assert registry.collect() == []
+
+    def test_thread_safety(self):
+        registry = MetricsRegistry()
+        family = registry.counter("hits_total")
+
+        def worker():
+            for _ in range(1000):
+                family.labels(worker="shared").inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        (_, child), = family.samples()
+        assert child.value == 8000.0
+
+
+class TestDisabledRegistry:
+    def test_hands_out_shared_noop_singletons(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("c") is NULL_COUNTER
+        assert registry.gauge("g") is NULL_GAUGE
+        assert registry.histogram("h") is NULL_HISTOGRAM
+        # labels() chains back to the same singleton: the hot path never
+        # allocates per call.
+        assert NULL_COUNTER.labels(framework="fastgl") is NULL_COUNTER
+        NULL_COUNTER.inc()
+        NULL_GAUGE.set(3)
+        NULL_HISTOGRAM.observe(0.1)
+        assert registry.collect() == []
+
+    def test_enable_disable_toggle(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.enable()
+        assert registry.counter("c") is not NULL_COUNTER
+        registry.disable()
+        assert registry.counter("c2") is NULL_COUNTER
+
+
+class TestDefaultRegistry:
+    def test_default_starts_disabled(self):
+        assert get_registry().enabled is False
+
+    def test_instrumented_scopes_and_restores(self):
+        before = get_registry()
+        with instrumented() as registry:
+            assert get_registry() is registry
+            assert registry.enabled
+            registry.counter("scoped_total").inc()
+        assert get_registry() is before
+
+    def test_instrumented_accepts_existing_registry(self):
+        mine = MetricsRegistry(enabled=False)
+        with instrumented(mine) as registry:
+            assert registry is mine
+            assert mine.enabled
+
+    def test_set_registry_returns_previous(self):
+        before = get_registry()
+        mine = MetricsRegistry()
+        try:
+            assert set_registry(mine) is before
+            assert get_registry() is mine
+        finally:
+            set_registry(before)

@@ -1,0 +1,138 @@
+"""Tests for the perf-regression gate (repro.obs.regress)."""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import regress
+
+BASELINE_PATH = (pathlib.Path(__file__).resolve().parent.parent
+                 / "benchmarks" / "results" / "baseline.json")
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    """One run of the deterministic suite, shared by all tests here."""
+    return regress.collect_benchmark_metrics()
+
+
+class TestSuite:
+    def test_snapshot_covers_every_subsystem(self, snapshot):
+        names = {m["name"] for m in snapshot["metrics"]}
+        assert "repro_phase_seconds" in names          # epoch driver
+        assert "repro_idmap_cas_ops_total" in names    # sampling
+        assert "repro_transfer_feature_bytes_total" in names  # transfer
+        assert "repro_storage_page_hits_total" in names       # storage
+        assert "repro_pipeline_stall_seconds_total" in names  # sim
+
+    def test_suite_is_deterministic(self, snapshot):
+        again = regress.collect_benchmark_metrics()
+        assert (regress.flatten_snapshot(again)
+                == regress.flatten_snapshot(snapshot))
+
+
+class TestCommittedBaseline:
+    def test_current_run_passes_committed_baseline(self, snapshot):
+        """The gate itself: HEAD must match benchmarks/results/baseline.json."""
+        with open(BASELINE_PATH) as handle:
+            baseline = json.load(handle)
+        violations = regress.check(snapshot, baseline)
+        assert violations == [], "\n".join(
+            regress.format_violation(v) for v in violations)
+
+
+class TestCheck:
+    def test_fresh_baseline_has_no_violations(self, snapshot):
+        baseline = regress.build_baseline(snapshot)
+        assert baseline["metrics"]
+        assert regress.check(snapshot, baseline) == []
+
+    def test_perturbation_beyond_tolerance_fails(self, snapshot):
+        baseline = regress.build_baseline(snapshot, default_tolerance=0.05)
+        name, entry = next(
+            (n, e) for n, e in baseline["metrics"].items()
+            if e["value"] > 0)
+        tampered = copy.deepcopy(baseline)
+        tampered["metrics"][name]["value"] = entry["value"] * 1.5
+        violations = regress.check(snapshot, tampered)
+        assert len(violations) == 1
+        assert violations[0]["metric"] == name
+        assert violations[0]["reason"] == "drift"
+        assert "DRIFT" in regress.format_violation(violations[0])
+
+    def test_perturbation_within_tolerance_passes(self, snapshot):
+        baseline = regress.build_baseline(snapshot, default_tolerance=0.05)
+        name, entry = next(
+            (n, e) for n, e in baseline["metrics"].items()
+            if e["value"] > 0)
+        baseline["metrics"][name]["value"] = entry["value"] * 1.01
+        assert regress.check(snapshot, baseline) == []
+
+    def test_per_metric_tolerance_overrides_default(self, snapshot):
+        baseline = regress.build_baseline(snapshot, default_tolerance=0.05)
+        name, entry = next(
+            (n, e) for n, e in baseline["metrics"].items()
+            if e["value"] > 0)
+        entry["value"] *= 1.2
+        entry["tolerance"] = 0.5
+        assert regress.check(snapshot, baseline) == []
+
+    def test_missing_metric_is_a_violation(self, snapshot):
+        baseline = regress.build_baseline(snapshot)
+        baseline["metrics"]["made_up_metric_total"] = {"value": 42.0}
+        violations = regress.check(snapshot, baseline)
+        assert len(violations) == 1
+        assert violations[0]["reason"] == "missing"
+        assert "MISSING" in regress.format_violation(violations[0])
+
+    def test_new_metrics_in_snapshot_are_not_violations(self, snapshot):
+        baseline = regress.build_baseline(snapshot)
+        del baseline["metrics"][next(iter(baseline["metrics"]))]
+        assert regress.check(snapshot, baseline) == []
+
+
+class TestCli:
+    @pytest.fixture(autouse=True)
+    def _stub_suite(self, snapshot, monkeypatch):
+        # The CLI re-runs the suite; reuse the module fixture's result.
+        monkeypatch.setattr(regress, "collect_benchmark_metrics",
+                            lambda: copy.deepcopy(snapshot))
+
+    def test_write_then_check(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert regress.main(["--baseline", str(baseline), "--write"]) == 0
+        assert baseline.exists()
+        assert regress.main(["--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "within tolerance" in out
+
+    def test_check_fails_on_drift(self, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        regress.main(["--baseline", str(baseline_path), "--write"])
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        name, entry = next(
+            (n, e) for n, e in baseline["metrics"].items()
+            if e["value"] > 0)
+        entry["value"] *= 2
+        with open(baseline_path, "w") as handle:
+            json.dump(baseline, handle)
+        assert regress.main(["--baseline", str(baseline_path)]) == 1
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_missing_baseline_file(self, tmp_path, capsys):
+        assert regress.main(
+            ["--baseline", str(tmp_path / "nope.json")]) == 2
+        assert "--write" in capsys.readouterr().err
+
+    def test_snapshot_side_output(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        out = tmp_path / "snap.json"
+        code = regress.main(["--baseline", str(baseline), "--write",
+                             "--snapshot", str(out)])
+        assert code == 0
+        with open(out) as handle:
+            written = json.load(handle)
+        assert written["metrics"]
