@@ -8,13 +8,15 @@ baseline frameworks (PyG, DGL, GNNAdvisor, GNNLab) in
 :mod:`repro.frameworks`; and one experiment driver per paper table/figure
 in :mod:`repro.experiments`.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade)::
 
-    from repro import RunConfig, get_dataset, get_framework
+    from repro.api import run, serve, available_frameworks
 
-    dataset = get_dataset("products")
-    report = get_framework("fastgl").run_epoch(dataset, RunConfig(num_gpus=2))
+    report = run("fastgl", "products", config=RunConfig(num_gpus=2))
     print(report.epoch_time, report.phases.fractions())
+
+    serving = serve("fastgl", "reddit")
+    print(serving.p99, serving.throughput)
 """
 
 from repro.config import CostModelConfig, DEFAULT_COST_MODEL, RunConfig
@@ -33,9 +35,13 @@ from repro.frameworks import (
     GNNAdvisorFramework,
     GNNLabFramework,
     PyGFramework,
+    available_frameworks,
+    create,
     fastgl_variant,
     get_framework,
+    register,
 )
+from repro.api import run, serve
 from repro.core.pipeline import FastGLTrainer, TrainHistory
 from repro.graph import CSRGraph, Dataset, DATASETS, get_dataset
 from repro.gpu import GPUSpec, RTX3090
@@ -61,6 +67,11 @@ __all__ = [
     "ConfigError",
     "Framework",
     "FRAMEWORKS",
+    "available_frameworks",
+    "create",
+    "register",
+    "run",
+    "serve",
     "get_framework",
     "PyGFramework",
     "DGLFramework",

@@ -1,0 +1,120 @@
+"""The public facade: one import for training runs and serving sims.
+
+Everything the package can do is reachable through four names::
+
+    from repro.api import run, serve, create, available_frameworks
+
+    report = run("fastgl", "products", config=RunConfig(num_gpus=2))
+    print(report.epoch_time, report.phases.fractions())
+    print(report.cache_stats().hit_rate)
+
+    serving = serve("fastgl", "reddit", serve_config=ServeConfig(rate=800))
+    print(serving.p99, serving.throughput)
+
+``run`` executes one modeled training epoch and returns an
+:class:`~repro.frameworks.base.EpochReport`; ``serve`` replays an online
+inference workload through :mod:`repro.serve` and returns a
+:class:`~repro.serve.server.ServeReport`. Both accept a framework as a
+registry name (see :func:`available_frameworks`), a class, or an
+instance, and a dataset as a registry name or a
+:class:`~repro.graph.datasets.Dataset`. All tuning knobs are
+keyword-only so call sites stay readable as the configs grow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.config import RunConfig
+from repro.frameworks.base import EpochReport, Framework
+from repro.frameworks.registry import available_frameworks, create, resolve
+from repro.graph.datasets import Dataset, get_dataset
+from repro.serve.server import ServeConfig, ServeReport
+from repro.serve.server import simulate as _simulate
+
+__all__ = [
+    "run",
+    "serve",
+    "create",
+    "resolve",
+    "available_frameworks",
+    "RunConfig",
+    "ServeConfig",
+    "EpochReport",
+    "ServeReport",
+]
+
+FrameworkLike = Union[str, type, Framework]
+DatasetLike = Union[str, Dataset]
+
+
+def _coerce_dataset(dataset: DatasetLike, seed: int) -> Dataset:
+    if isinstance(dataset, str):
+        return get_dataset(dataset, seed=seed)
+    return dataset
+
+
+def run(
+    framework: FrameworkLike,
+    dataset: DatasetLike,
+    *,
+    config: Optional[RunConfig] = None,
+    model: str = "gcn",
+    spec=None,
+    sampler=None,
+) -> EpochReport:
+    """Run one modeled training epoch.
+
+    Parameters
+    ----------
+    framework:
+        Registry name (``"fastgl"``, ``"dgl"``, ...), a
+        :class:`~repro.frameworks.base.Framework` subclass, or an
+        instance.
+    dataset:
+        Dataset registry name or a constructed
+        :class:`~repro.graph.datasets.Dataset`.
+    config:
+        :class:`~repro.config.RunConfig`; defaults to ``RunConfig()``.
+    model:
+        Model profile name (``"gcn"``, ``"gat"``, ``"graphsage"``).
+    spec:
+        Optional :class:`~repro.gpu.spec.GPUSpec` override, applied when
+        ``framework`` is given by name or class.
+    sampler:
+        Optional pre-built sampler, forwarded to ``run_epoch``.
+    """
+    if config is None:
+        config = RunConfig()
+    instance = resolve(framework, spec=spec)
+    data = _coerce_dataset(dataset, config.seed)
+    return instance.run_epoch(data, config, model_name=model, sampler=sampler)
+
+
+def serve(
+    framework: FrameworkLike,
+    dataset: DatasetLike,
+    *,
+    run_config: Optional[RunConfig] = None,
+    serve_config: Optional[ServeConfig] = None,
+    model: str = "gcn",
+    spec=None,
+) -> ServeReport:
+    """Simulate online inference serving (see :mod:`repro.serve`).
+
+    Accepts the same ``framework``/``dataset`` forms as :func:`run`;
+    ``serve_config`` (a :class:`~repro.serve.server.ServeConfig`)
+    describes the request workload and micro-batching policy, and
+    ``run_config`` carries the sampling fanouts, seed, and cost model.
+    """
+    if run_config is None:
+        run_config = RunConfig(num_gpus=1)
+    data = _coerce_dataset(dataset, run_config.seed)
+    return _simulate(
+        framework,
+        data,
+        run_config=run_config,
+        serve_config=serve_config,
+        model=model,
+        spec=spec,
+    )

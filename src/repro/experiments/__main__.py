@@ -58,6 +58,9 @@ EXPERIMENTS = {
                       "run_match_ssd"),
     "ext_ooc_e2e": ("repro.experiments.ext_out_of_core",
                     "run_end_to_end"),
+    "ext_serve": ("repro.experiments.ext_serving", "run_rate_sweep"),
+    "ext_serve_window": ("repro.experiments.ext_serving",
+                         "run_window_sweep"),
 }
 
 

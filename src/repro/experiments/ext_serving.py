@@ -1,0 +1,114 @@
+"""Extension experiments: online inference serving (:mod:`repro.serve`).
+
+The paper evaluates training throughput; these experiments ask the
+serving question — *given the same three-phase hot path (sample ->
+memory IO -> aggregate), what do Fused-Map, Match-Reorder and
+Memory-Aware buy an online inference server?*
+
+* :func:`run_rate_sweep` — p50/p99 latency and goodput of DGL-style vs
+  FastGL-style serving as the arrival rate climbs past saturation. The
+  FastGL profile saturates later because every micro-batch costs less
+  GPU time, so at equal load its queues stay shorter.
+* :func:`run_window_sweep` — the micro-batching latency/efficiency
+  trade-off: a wider window coalesces more requests per GPU pass (and
+  gives Match more overlap to find) but charges every request more
+  batching delay at low load.
+"""
+
+from __future__ import annotations
+
+from repro.config import RunConfig
+from repro.experiments.runner import ExperimentResult
+from repro.graph.datasets import get_dataset
+from repro.serve import ServeConfig, simulate
+
+#: Arrival rates (req/s) spanning under- to over-saturation on the
+#: reproduction-scale datasets.
+RATES = (10_000.0, 25_000.0, 50_000.0, 100_000.0)
+#: Batching windows (seconds) for the policy sweep.
+WINDOWS = (0.0, 0.001, 0.002, 0.004, 0.008)
+
+
+def _serve(framework, dataset, config, **overrides):
+    base = dict(
+        rate=50_000.0,
+        num_requests=400,
+        seeds_per_request=8,
+        max_batch=16,
+        batch_window_s=0.002,
+        queue_capacity=512,
+        slo_s=0.25,
+        seed=config.seed,
+    )
+    base.update(overrides)
+    return simulate(framework, dataset, run_config=config,
+                    serve_config=ServeConfig(**base))
+
+
+def run_rate_sweep(dataset_name: str = "reddit",
+                   config: RunConfig | None = None) -> ExperimentResult:
+    config = config or RunConfig(num_gpus=1, seed=0)
+    dataset = get_dataset(dataset_name, seed=config.seed)
+    result = ExperimentResult(
+        exp_id="ext_serve",
+        title=f"Serving latency vs arrival rate ({dataset_name}, "
+              "DGL-style vs FastGL-style profiles)",
+        headers=["rate_rps", "framework", "p50_ms", "p99_ms",
+                 "goodput_rps", "shed", "dropped", "occupancy"],
+    )
+    for rate in RATES:
+        for framework in ("dgl", "fastgl"):
+            report = _serve(framework, dataset, config, rate=rate)
+            goodput = (report.num_completed - report.sla_misses) \
+                / report.makespan
+            result.rows.append([
+                int(rate), framework,
+                round(report.p50 * 1e3, 3),
+                round(report.p99 * 1e3, 3),
+                round(goodput, 1),
+                report.num_shed, report.num_dropped,
+                round(report.occupancy, 3),
+            ])
+        dgl_row, fast_row = result.rows[-2], result.rows[-1]
+        result.series.append((
+            f"p99_ms@{int(rate)}", ["dgl", "fastgl"],
+            [dgl_row[3], fast_row[3]],
+        ))
+    result.notes.append(
+        "fastgl serves each micro-batch with less GPU time (fused map + "
+        "match reuse + memory-aware aggregation), so it saturates at a "
+        "higher arrival rate and sheds/drops later than dgl"
+    )
+    return result
+
+
+def run_window_sweep(dataset_name: str = "reddit",
+                     config: RunConfig | None = None) -> ExperimentResult:
+    config = config or RunConfig(num_gpus=1, seed=0)
+    dataset = get_dataset(dataset_name, seed=config.seed)
+    result = ExperimentResult(
+        exp_id="ext_serve_window",
+        title=f"Micro-batch window trade-off ({dataset_name}, fastgl, "
+              "3k req/s)",
+        headers=["window_ms", "mean_batch", "p50_ms", "p99_ms",
+                 "gpu_passes", "occupancy"],
+    )
+    for window in WINDOWS:
+        report = _serve("fastgl", dataset, config, rate=3_000.0,
+                        num_requests=300, batch_window_s=window)
+        result.rows.append([
+            round(window * 1e3, 1),
+            round(report.mean_batch_size, 1),
+            round(report.p50 * 1e3, 3),
+            round(report.p99 * 1e3, 3),
+            len(report.batches),
+            round(report.occupancy, 3),
+        ])
+    result.notes.append(
+        "window 0 serves singletons, saturates the GPU and queues; wider "
+        "windows coalesce more requests per pass (occupancy falls, match "
+        "overlap grows) but charge every request more batching delay — "
+        "the p50 minimum sits at the narrowest window that still fills "
+        "batches"
+    )
+    return result

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import RunConfig
-from repro.frameworks import FRAMEWORKS, EpochReport
+from repro.frameworks import EpochReport, create
 from repro.graph.datasets import SHORT_NAMES, get_dataset
 from repro.obs import get_registry
 from repro.utils.format import ascii_series, ascii_table
@@ -93,17 +93,17 @@ def epoch_report(
 ) -> EpochReport:
     """Run (and memoize) one epoch.
 
-    ``framework`` is a name from :data:`repro.frameworks.FRAMEWORKS`, a
-    framework class, or an instance. Memoization only applies to the
-    name/class forms with default datasets and samplers; hit/miss
-    counts are visible through :func:`cache_info` and, when
-    observability is on, the ``repro_experiment_report_cache_total``
-    counter.
+    ``framework`` is a registry name (see
+    :func:`repro.frameworks.available_frameworks`), a framework class,
+    or an instance. Memoization only applies to the name/class forms
+    with default datasets and samplers; hit/miss counts are visible
+    through :func:`cache_info` and, when observability is on, the
+    ``repro_experiment_report_cache_total`` counter.
     """
     cacheable = dataset is None and sampler is None
     if isinstance(framework, str):
         key_id = framework
-        instance = FRAMEWORKS[framework]()
+        instance = create(framework)
     elif isinstance(framework, type):
         key_id = f"{framework.__name__}:{framework.name}"
         instance = framework()

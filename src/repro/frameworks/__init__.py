@@ -1,6 +1,20 @@
-"""Simulated training frameworks (the paper's Table 5 lineup)."""
+"""Simulated training frameworks (the paper's Table 5 lineup).
+
+Names resolve through the registry (:func:`create`,
+:func:`available_frameworks`, :func:`register`); the ``FRAMEWORKS`` dict
+and :func:`get_framework` remain as compatibility aliases.
+"""
 
 from repro.frameworks.base import EpochReport, Framework, PhaseTimes
+from repro.frameworks.registry import (
+    FRAMEWORKS,
+    available_frameworks,
+    create,
+    get_framework,
+    register,
+    resolve,
+    unregister,
+)
 from repro.frameworks.pyg import PyGFramework
 from repro.frameworks.dgl import DGLFramework, OutOfCoreDGLFramework
 from repro.frameworks.gnnadvisor import GNNAdvisorFramework
@@ -12,27 +26,14 @@ from repro.frameworks.fastgl import (
     fastgl_variant,
 )
 
-#: Name -> constructor for the benchmark harness.
-FRAMEWORKS = {
-    "pyg": PyGFramework,
-    "dgl": DGLFramework,
-    "gnnadvisor": GNNAdvisorFramework,
-    "gnnlab": GNNLabFramework,
-    "pagraph": PaGraphFramework,
-    "fastgl": FastGLFramework,
-    "dgl-ooc": OutOfCoreDGLFramework,
-    "fastgl-ooc": OutOfCoreFastGLFramework,
-}
-
-
-def get_framework(name: str, **kwargs) -> Framework:
-    """Instantiate a framework by its lowercase name."""
-    if name not in FRAMEWORKS:
-        raise KeyError(
-            f"unknown framework {name!r}; available: {sorted(FRAMEWORKS)}"
-        )
-    return FRAMEWORKS[name](**kwargs)
-
+register("pyg", PyGFramework)
+register("dgl", DGLFramework)
+register("gnnadvisor", GNNAdvisorFramework)
+register("gnnlab", GNNLabFramework)
+register("pagraph", PaGraphFramework)
+register("fastgl", FastGLFramework)
+register("dgl-ooc", OutOfCoreDGLFramework)
+register("fastgl-ooc", OutOfCoreFastGLFramework)
 
 __all__ = [
     "EpochReport",
@@ -48,5 +49,10 @@ __all__ = [
     "OutOfCoreFastGLFramework",
     "fastgl_variant",
     "FRAMEWORKS",
+    "available_frameworks",
+    "create",
     "get_framework",
+    "register",
+    "resolve",
+    "unregister",
 ]

@@ -72,28 +72,58 @@ class PhaseTimes:
         preprocess + allreduce into ``compute`` (the paper's Fig. 1 view).
         ``detail=True`` splits those shares out as disjoint components —
         the stepwise-figure view — so the returned values still sum to
-        1.0 in both modes.
+        1.0 in both modes. Each mode returns the same key set whether or
+        not the total is zero (shares are all 0.0 in the empty case).
         """
-        total = self.serial_total
-        if not detail:
-            if total == 0:
-                return {"sample": 0.0, "memory_io": 0.0, "compute": 0.0}
-            return {
-                "sample": self.sample / total,
-                "memory_io": self.memory_io / total,
-                "compute": (self.compute + self.allreduce) / total,
+        if detail:
+            parts = {
+                "sample": self.sample - self.idmap,
+                "idmap": self.idmap,
+                "memory_io": self.memory_io,
+                "compute": self.compute - self.preprocess,
+                "preprocess": self.preprocess,
+                "allreduce": self.allreduce,
             }
+        else:
+            parts = {
+                "sample": self.sample,
+                "memory_io": self.memory_io,
+                "compute": self.compute + self.allreduce,
+            }
+        total = self.serial_total
         if total == 0:
-            return {"sample": 0.0, "idmap": 0.0, "memory_io": 0.0,
-                    "compute": 0.0, "preprocess": 0.0, "allreduce": 0.0}
-        return {
-            "sample": (self.sample - self.idmap) / total,
-            "idmap": self.idmap / total,
-            "memory_io": self.memory_io / total,
-            "compute": (self.compute - self.preprocess) / total,
-            "preprocess": self.preprocess / total,
-            "allreduce": self.allreduce / total,
-        }
+            return {key: 0.0 for key in parts}
+        return {key: value / total for key, value in parts.items()}
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Typed view of an epoch's feature-residency counters.
+
+    ``hits`` counts rows served from a static device cache, ``reused``
+    rows kept resident by Match across consecutive batches, ``loaded``
+    rows that actually crossed the host link; together they partition
+    ``wanted``.
+    """
+
+    wanted: int
+    loaded: int
+    reused: int
+    hits: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits per wanted row."""
+        if self.wanted == 0:
+            return 0.0
+        return self.hits / self.wanted
+
+    @property
+    def resident_rate(self) -> float:
+        """Rows that never crossed the link (cache hits + Match reuse)."""
+        if self.wanted == 0:
+            return 0.0
+        return (self.hits + self.reused) / self.wanted
 
 
 @dataclass
@@ -123,6 +153,46 @@ class EpochReport:
         if not self.losses:
             return float("nan")
         return float(np.mean(self.losses))
+
+    # -- typed views over ``extras`` -----------------------------------------
+    @property
+    def num_trainers(self) -> int:
+        """Trainer GPUs the epoch ran on."""
+        return int(self.extras.get("num_trainers", 1))
+
+    def timeline(self) -> list:
+        """The modeled epoch timeline as :class:`repro.obs.trace.Span`
+        objects (one per phase interval per lane), replacing digging
+        through ``extras["timeline"]`` dicts.
+
+        The layout is exactly what the framework's epoch-time model
+        computed — including allreduce and pipeline overlap — so
+        ``max(span.end for span in report.timeline())`` equals
+        :attr:`epoch_time`.
+        """
+        from repro.obs.trace import Span
+
+        return [
+            Span(
+                name=entry["name"],
+                start=entry["start"],
+                duration=entry["dur"],
+                lane=entry["lane"],
+                category=entry["cat"],
+                args={key: value for key, value in entry.items()
+                      if key not in ("name", "start", "dur", "lane", "cat")},
+            )
+            for entry in self.extras.get("timeline", [])
+        ]
+
+    def cache_stats(self) -> CacheStats:
+        """Typed feature-residency counters of the memory-IO phase."""
+        return CacheStats(
+            wanted=self.transfer.num_wanted,
+            loaded=self.transfer.num_loaded,
+            reused=self.transfer.num_reused,
+            hits=self.transfer.num_cache_hits,
+        )
 
     def summary(self) -> str:
         """One human-readable paragraph about this epoch."""

@@ -23,17 +23,19 @@ from repro.obs.trace import Tracer
 PHASES = ("sample", "memory_io", "compute", "allreduce")
 
 
-def _tracer_from_timeline(timeline) -> Tracer:
+def _tracer_from_timeline(spans) -> Tracer:
+    """Spans are :class:`~repro.obs.trace.Span` objects, as returned by
+    :meth:`EpochReport.timeline`."""
     tracer = Tracer(enabled=True)
-    for span in timeline:
+    for span in spans:
         tracer.add_span(
-            span["name"],
-            start=span["start"],
-            duration=span["dur"],
-            lane=span["lane"],
-            category=span["cat"],
-            batch=span.get("batch"),
-            phase=span["cat"],
+            span.name,
+            start=span.start,
+            duration=span.duration,
+            lane=span.lane,
+            category=span.category,
+            batch=span.args.get("batch"),
+            phase=span.category,
         )
     return tracer
 
@@ -62,7 +64,7 @@ def _tracer_from_iterations(report) -> Tracer:
 
 def epoch_tracer(report) -> Tracer:
     """A :class:`Tracer` holding ``report``'s modeled spans."""
-    timeline = report.extras.get("timeline")
+    timeline = report.timeline() if hasattr(report, "timeline") else None
     if timeline:
         return _tracer_from_timeline(timeline)
     return _tracer_from_iterations(report)

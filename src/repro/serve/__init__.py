@@ -1,0 +1,69 @@
+"""Online inference serving for sampled GNNs (modeled time).
+
+The paper optimizes the three phases of sampling-based *training*;
+online *serving* runs the same three phases per request — sample the
+k-hop neighborhood, fetch its feature rows, aggregate — so the same
+GPU-efficiency techniques (Fused-Map, Match residency, Memory-Aware
+aggregation) decide serving latency too. This package simulates that
+request path end to end:
+
+    arrivals -> admission control -> micro-batching -> GPU hot path
+
+Quickstart::
+
+    from repro import get_dataset
+    from repro.serve import ServeConfig, simulate
+
+    report = simulate("fastgl", get_dataset("reddit"),
+                      serve_config=ServeConfig(rate=800, num_requests=300))
+    print(report.summary())          # p50/p95/p99, throughput, shed rate
+
+or from the command line::
+
+    python -m repro.serve --framework fastgl --framework dgl --rate 800
+"""
+
+from repro.serve.batcher import (
+    MicroBatch,
+    MicroBatcher,
+    plan_dispatch_order,
+    select_next_batch,
+)
+from repro.serve.profiles import ServiceTimes, ServingProfile
+from repro.serve.request import (
+    ARRIVAL_PROCESSES,
+    InferenceRequest,
+    RequestQueue,
+    build_schedule,
+    bursty_arrivals,
+    poisson_arrivals,
+    replay_arrivals,
+)
+from repro.serve.server import (
+    LATENCY_BUCKETS,
+    ServeConfig,
+    ServeReport,
+    ServerSim,
+    simulate,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "InferenceRequest",
+    "LATENCY_BUCKETS",
+    "MicroBatch",
+    "MicroBatcher",
+    "RequestQueue",
+    "ServeConfig",
+    "ServeReport",
+    "ServerSim",
+    "ServiceTimes",
+    "ServingProfile",
+    "build_schedule",
+    "bursty_arrivals",
+    "plan_dispatch_order",
+    "poisson_arrivals",
+    "replay_arrivals",
+    "select_next_batch",
+    "simulate",
+]

@@ -1,0 +1,249 @@
+"""Serve a synthetic inference workload from the command line.
+
+Usage::
+
+    python -m repro.serve --framework fastgl --framework dgl --rate 800
+    python -m repro.serve --dataset smoke --rate 50000 --requests 400
+    python -m repro.serve --dataset smoke --check-baseline \\
+        benchmarks/results/serve_baseline.json          # the CI smoke gate
+
+Each selected framework serves the *same* deterministic request
+schedule; the report compares p50/p95/p99 latency, throughput, shed and
+deadline-drop counts, and GPU occupancy. Every run verifies that the
+exported serving timeline reconciles with the event-loop makespan; the
+``--check-baseline`` mode additionally gates the instrumented metrics
+(including the latency summary) against a committed snapshot via
+:mod:`repro.obs.regress`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.config import RunConfig
+from repro.obs import instrumented, to_snapshot
+from repro.obs.regress import build_baseline, check, format_violation
+from repro.serve.server import ServeConfig, ServeReport, simulate
+from repro.utils.format import ascii_table
+
+#: Reconciliation tolerance between timeline extent and makespan.
+RECONCILE_TOL = 1e-6
+
+
+def smoke_dataset():
+    """A tiny self-contained dataset for the CI smoke gate (never reads
+    the named dataset registry; mirrors ``repro.obs.regress``)."""
+    from repro.graph.datasets import Dataset, DatasetSpec, PaperScale
+
+    spec = DatasetSpec(
+        name="serve-smoke",
+        num_nodes=3000,
+        avg_degree=10.0,
+        feature_dim=32,
+        num_classes=8,
+        train_fraction=0.3,
+        paper=PaperScale(300_000, 3_000_000, 1 << 30),
+    )
+    return Dataset(spec, seed=0)
+
+
+def _get_dataset(name: str, seed: int):
+    if name == "smoke":
+        return smoke_dataset()
+    from repro.graph.datasets import get_dataset
+
+    return get_dataset(name, seed=seed)
+
+
+def _report_row(report: ServeReport) -> list:
+    return [
+        report.framework,
+        round(report.p50 * 1e3, 3),
+        round(report.p95 * 1e3, 3),
+        round(report.p99 * 1e3, 3),
+        round(report.throughput, 1),
+        report.num_completed,
+        report.num_shed,
+        report.num_dropped,
+        round(report.mean_batch_size, 1),
+        f"{report.occupancy:.0%}",
+    ]
+
+
+def _publish_summary(registry, report: ServeReport) -> None:
+    """Expose the latency summary as gauges so the baseline gate diffs
+    p50/p95/p99/throughput directly, not only histogram aggregates."""
+    for metric, value in (
+        ("repro_serve_p50_seconds", report.p50),
+        ("repro_serve_p95_seconds", report.p95),
+        ("repro_serve_p99_seconds", report.p99),
+        ("repro_serve_throughput_rps", report.throughput),
+        ("repro_serve_makespan_seconds", report.makespan),
+    ):
+        registry.gauge(metric, "Serving summary statistic").labels(
+            framework=report.framework).set(float(value))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Simulate online sampled-GNN inference serving.",
+    )
+    parser.add_argument("--framework", action="append", default=None,
+                        metavar="NAME",
+                        help="framework to serve with (repeatable; "
+                             "default: dgl and fastgl)")
+    parser.add_argument("--dataset", default="smoke",
+                        help='dataset name, or "smoke" for the tiny '
+                             "self-contained graph (default: %(default)s)")
+    parser.add_argument("--rate", type=float, default=50_000.0,
+                        help="mean arrival rate, req/s (default: %(default)s)")
+    parser.add_argument("--requests", type=int, default=400,
+                        help="number of requests (default: %(default)s)")
+    parser.add_argument("--arrival", default="poisson",
+                        choices=("poisson", "bursty"),
+                        help="arrival process (default: %(default)s)")
+    parser.add_argument("--seeds-per-request", type=int, default=8)
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--window-ms", type=float, default=2.0,
+                        help="micro-batch window in milliseconds "
+                             "(default: %(default)s)")
+    parser.add_argument("--queue-cap", type=int, default=128)
+    parser.add_argument("--slo-ms", type=float, default=500.0,
+                        help="latency SLO in ms; 0 disables deadlines")
+    parser.add_argument("--fanouts", default="5,10,15",
+                        help="comma-separated sampling fanouts")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="write per-framework Chrome traces here")
+    parser.add_argument("--json", type=pathlib.Path, default=None,
+                        metavar="PATH", help="write the summary as JSON")
+    parser.add_argument("--check-baseline", metavar="PATH", default=None,
+                        help="gate instrumented serve metrics against a "
+                             "committed baseline (repro.obs.regress)")
+    parser.add_argument("--write-baseline", metavar="PATH", default=None,
+                        help="write/refresh the baseline from this run")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="default relative tolerance when writing a "
+                             "baseline (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    frameworks = args.framework or ["dgl", "fastgl"]
+    from repro.frameworks import available_frameworks
+
+    unknown = [n for n in frameworks if n not in available_frameworks()]
+    if unknown:
+        parser.error(f"unknown framework(s): {unknown}; "
+                     f"available: {list(available_frameworks())}")
+    fanouts = tuple(int(f) for f in args.fanouts.split(",") if f)
+    run_config = RunConfig(num_gpus=1, fanouts=fanouts, seed=args.seed)
+    serve_config = ServeConfig(
+        rate=args.rate,
+        num_requests=args.requests,
+        arrival=args.arrival,
+        seeds_per_request=args.seeds_per_request,
+        max_batch=args.max_batch,
+        batch_window_s=args.window_ms / 1e3,
+        queue_capacity=args.queue_cap,
+        slo_s=args.slo_ms / 1e3,
+        seed=args.seed,
+    )
+    dataset = _get_dataset(args.dataset, args.seed)
+
+    reports: dict = {}
+    with instrumented() as registry:
+        for name in frameworks:
+            report = simulate(name, dataset, run_config=run_config,
+                              serve_config=serve_config)
+            reports[name] = report
+            _publish_summary(registry, report)
+        snapshot = to_snapshot(registry)
+
+    rows = [_report_row(reports[name]) for name in frameworks]
+    print(ascii_table(
+        ["framework", "p50_ms", "p95_ms", "p99_ms", "req/s", "done",
+         "shed", "dropped", "batch", "occupancy"],
+        rows,
+    ))
+
+    failures = 0
+    for name in frameworks:
+        report = reports[name]
+        delta = abs(report.timeline_extent - report.makespan)
+        if report.reconciles(RECONCILE_TOL):
+            print(f"{name}: timeline reconciles with makespan "
+                  f"({report.makespan:.6f}s, |delta| = {delta:.2e})")
+        else:
+            print(f"{name}: TIMELINE MISMATCH: extent "
+                  f"{report.timeline_extent!r} vs makespan "
+                  f"{report.makespan!r}", file=sys.stderr)
+            failures += 1
+
+    if "dgl" in reports and "fastgl" in reports:
+        dgl, fast = reports["dgl"], reports["fastgl"]
+        if fast.p50 and dgl.p50:
+            print(f"fastgl serving speedup over dgl: "
+                  f"p50 {dgl.p50 / fast.p50:.2f}x, "
+                  f"p99 {dgl.p99 / fast.p99:.2f}x, "
+                  f"throughput {fast.throughput / dgl.throughput:.2f}x")
+
+    if args.trace:
+        args.trace.mkdir(parents=True, exist_ok=True)
+        for name, report in reports.items():
+            path = args.trace / f"serve_{name}.json"
+            count = report.write_chrome_trace(path)
+            print(f"wrote {path} ({count} events)")
+
+    if args.json:
+        payload = {
+            name: {
+                "p50_s": report.p50, "p95_s": report.p95,
+                "p99_s": report.p99, "throughput_rps": report.throughput,
+                "completed": report.num_completed,
+                "shed": report.num_shed, "dropped": report.num_dropped,
+                "makespan_s": report.makespan,
+                "occupancy": report.occupancy,
+            }
+            for name, report in reports.items()
+        }
+        args.json.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                             + "\n")
+        print(f"wrote {args.json}")
+
+    if args.write_baseline:
+        baseline = build_baseline(snapshot,
+                                  default_tolerance=args.tolerance)
+        baseline["suite"] = list(frameworks)
+        with open(args.write_baseline, "w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote baseline: {args.write_baseline} "
+              f"({len(baseline['metrics'])} metrics)")
+        return 0
+
+    if args.check_baseline:
+        try:
+            with open(args.check_baseline) as handle:
+                baseline = json.load(handle)
+        except FileNotFoundError:
+            print(f"no baseline at {args.check_baseline}; create one with "
+                  "--write-baseline", file=sys.stderr)
+            return 2
+        violations = check(snapshot, baseline)
+        checked = len(baseline.get("metrics", {}))
+        if violations:
+            print(f"{len(violations)} of {checked} serve metrics regressed:")
+            for violation in violations:
+                print("  " + format_violation(violation))
+            return 1
+        print(f"ok: {checked} serve metrics within tolerance")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

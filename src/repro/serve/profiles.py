@@ -1,0 +1,109 @@
+"""Per-framework serving profiles: the hot path behind one micro-batch.
+
+A :class:`ServingProfile` bundles exactly the strategy hooks a
+:class:`~repro.frameworks.base.Framework` already defines — sampler +
+ID map, feature loader, compute cost mode, topology prefetch — into the
+three-phase service-time model of one inference micro-batch:
+
+    sample (draw + ID map)  ->  memory IO (feature fetch)  ->  aggregate
+
+so ``dgl`` serves with the 3-kernel ID map, naive loads and naive
+aggregation while ``fastgl`` serves with Fused-Map, Match residency
+(kept *across* micro-batches — the server never resets it) and the
+Memory-Aware kernel. The serving-latency gap between the two is the
+paper's Fig. 9 speedup transplanted onto the request path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import RunConfig
+from repro.core.memory_aware import ComputeCostModel, model_profile
+from repro.gpu.pcie import link_from_cost
+from repro.utils.rng import RngFactory
+
+
+@dataclass
+class ServiceTimes:
+    """Modeled seconds of one micro-batch's three serving phases."""
+
+    sample: float
+    memory_io: float
+    compute: float
+
+    @property
+    def total(self) -> float:
+        return self.sample + self.memory_io + self.compute
+
+
+class ServingProfile:
+    """One framework's modeled hot path for online inference."""
+
+    def __init__(self, framework, dataset, config: RunConfig,
+                 model: str = "gcn") -> None:
+        self.framework = framework
+        self.name = framework.name
+        self.dataset = dataset
+        self.config = config
+        self.model = model
+        rngs = RngFactory(config.seed)
+        self.sampler = framework.make_sampler(
+            dataset, config, rngs.child("serve-sampler"))
+        self.loader = framework.make_loader(
+            dataset, config, self.sampler, rngs.child("serve-loader"))
+        self.link = link_from_cost(framework.spec, config.cost)
+        self.cost_model = ComputeCostModel(
+            framework.spec, config.cost, framework.compute_mode)
+        self.model_profile = model_profile(
+            model, dataset.feature_dim, dataset.num_classes,
+            hidden_dim=config.hidden_dim, num_layers=config.num_layers,
+        )
+        #: FastGL-style profiles reorder the dispatch backlog by match
+        #: degree (the serving analogue of Greedy Reorder).
+        self.reorder_backlog = bool(getattr(framework, "use_reorder", False))
+
+    @classmethod
+    def build(cls, framework, dataset, config: RunConfig | None = None,
+              model: str = "gcn", spec=None) -> "ServingProfile":
+        """Accepts a framework name, class, or instance."""
+        from repro.frameworks import create
+
+        if isinstance(framework, str):
+            kwargs = {"spec": spec} if spec is not None else {}
+            framework = create(framework, **kwargs)
+        elif isinstance(framework, type):
+            framework = framework(**({"spec": spec} if spec else {}))
+        return cls(framework, dataset, config or RunConfig(num_gpus=1),
+                   model=model)
+
+    @property
+    def resident_nodes(self) -> np.ndarray:
+        """Feature rows currently resident on the device (Match state);
+        empty for loaders without cross-batch residency."""
+        state = getattr(self.loader, "_state", None)
+        if state is None:
+            return np.empty(0, dtype=np.int64)
+        return state.resident
+
+    def service(self, seeds: np.ndarray) -> tuple:
+        """Run one micro-batch through the modeled hot path.
+
+        Returns ``(times, subgraph, transfer_report)``. Mutates the
+        loader's residency state — consecutive calls model consecutive
+        batches on the same device, which is what lets Match reuse rows
+        across micro-batches.
+        """
+        cost = self.config.cost
+        subgraph = self.sampler.sample(np.asarray(seeds, dtype=np.int64))
+        sample_t = (self.sampler.modeled_sample_time(subgraph, cost)
+                    + subgraph.idmap_report.modeled_time(cost))
+        transfer = self.loader.plan(subgraph)
+        comp = self.cost_model.subgraph_report(subgraph, self.model_profile)
+        io_t = self.framework._io_time(transfer, comp, self.link, cost,
+                                       trainers=1)
+        times = ServiceTimes(sample=sample_t, memory_io=io_t,
+                             compute=comp.total_time)
+        return times, subgraph, transfer

@@ -1,0 +1,201 @@
+"""Inference requests, arrival processes, and admission control.
+
+One :class:`InferenceRequest` is a k-hop neighborhood query: *give me
+predictions for these seed nodes*. The serving hot path it triggers —
+sample the k-hop subgraph, fetch the feature rows, aggregate — is the
+same three-phase loop the paper profiles for training (Fig. 1), which is
+why the paper's GPU-efficiency techniques transfer to serving unchanged.
+
+Arrival processes generate deterministic request schedules (Poisson,
+bursty, or a replayed trace); :class:`RequestQueue` applies admission
+control in front of the micro-batcher: a queue cap (load shedding) and
+deadline-based dropping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import RngFactory, ensure_rng
+
+
+@dataclass
+class InferenceRequest:
+    """One online inference query."""
+
+    req_id: int
+    #: Virtual-time arrival (seconds since the simulation epoch).
+    arrival: float
+    #: Seed node IDs whose predictions the client wants.
+    seeds: np.ndarray
+    #: Latest acceptable completion time (arrival + SLO), or +inf.
+    deadline: float = float("inf")
+    #: Filled in by the server simulation.
+    completion: float | None = None
+    outcome: str = "pending"  # pending | completed | shed | dropped
+
+    @property
+    def latency(self) -> float:
+        """Sojourn time (completion - arrival); NaN until completed."""
+        if self.completion is None:
+            return float("nan")
+        return self.completion - self.arrival
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.completion is not None and self.completion <= self.deadline
+
+
+def poisson_arrivals(rate: float, num_requests: int, rng=None) -> np.ndarray:
+    """Arrival times of a Poisson process with ``rate`` requests/second."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    rng = ensure_rng(rng)
+    gaps = rng.exponential(1.0 / rate, size=num_requests)
+    return np.cumsum(gaps)
+
+
+def bursty_arrivals(
+    rate: float,
+    num_requests: int,
+    rng=None,
+    burst_factor: float = 8.0,
+    burst_fraction: float = 0.2,
+) -> np.ndarray:
+    """A two-state modulated Poisson process (calm / burst).
+
+    Each request is drawn from the burst state with probability
+    ``burst_fraction``; burst gaps are ``burst_factor`` times shorter.
+    Rates are normalized so the *mean* rate stays ``rate``, making bursty
+    and Poisson schedules comparable at equal load.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if not 0.0 <= burst_fraction < 1.0:
+        raise ValueError("burst_fraction must be in [0, 1)")
+    rng = ensure_rng(rng)
+    # mean gap = (1-f)/calm_rate + f/(calm_rate*factor) == 1/rate
+    calm_rate = rate * ((1.0 - burst_fraction)
+                        + burst_fraction / burst_factor)
+    in_burst = rng.random(num_requests) < burst_fraction
+    gaps = rng.exponential(1.0 / calm_rate, size=num_requests)
+    gaps[in_burst] /= burst_factor
+    return np.cumsum(gaps)
+
+
+def replay_arrivals(times) -> np.ndarray:
+    """A recorded trace of arrival times (must be non-decreasing)."""
+    times = np.asarray(times, dtype=np.float64)
+    if len(times) and np.any(np.diff(times) < 0):
+        raise ValueError("replayed arrival times must be non-decreasing")
+    return times
+
+
+#: Name -> generator for the CLI / config surface.
+ARRIVAL_PROCESSES = {
+    "poisson": poisson_arrivals,
+    "bursty": bursty_arrivals,
+}
+
+
+def build_schedule(
+    process: str,
+    rate: float,
+    num_requests: int,
+    seed_pool: np.ndarray,
+    seeds_per_request: int,
+    slo_s: float,
+    seed: int = 0,
+    replay_times=None,
+) -> list:
+    """Materialize the full deterministic request schedule.
+
+    ``seed_pool`` is the node-ID population queries draw from (typically
+    the dataset's held-out split). ``replay_times`` short-circuits the
+    generator when ``process == "replay"``.
+    """
+    rngs = RngFactory(seed)
+    if process == "replay":
+        if replay_times is None:
+            raise ValueError('process "replay" needs replay_times')
+        times = replay_arrivals(replay_times)
+    else:
+        try:
+            generator = ARRIVAL_PROCESSES[process]
+        except KeyError:
+            raise ValueError(
+                f"unknown arrival process {process!r}; available: "
+                f"{sorted(ARRIVAL_PROCESSES) + ['replay']}"
+            ) from None
+        times = generator(rate, num_requests, rng=rngs.child("arrivals"))
+    seed_rng = rngs.child("request-seeds")
+    requests = []
+    for i, t in enumerate(times):
+        size = min(seeds_per_request, len(seed_pool))
+        seeds = seed_rng.choice(seed_pool, size=size, replace=False)
+        requests.append(InferenceRequest(
+            req_id=i,
+            arrival=float(t),
+            seeds=np.sort(seeds.astype(np.int64)),
+            deadline=float(t) + slo_s if slo_s > 0 else float("inf"),
+        ))
+    return requests
+
+
+@dataclass
+class AdmissionStats:
+    """Counters the admission controller maintains."""
+
+    admitted: int = 0
+    shed: int = 0
+    dropped: int = 0
+
+
+class RequestQueue:
+    """Admission control in front of the micro-batcher.
+
+    ``capacity`` bounds the number of requests admitted but not yet in
+    service; arrivals beyond it are shed immediately (the load-shedding
+    half of admission control). Requests whose deadline has already
+    passed when the batcher would take them are dropped (deadline drop) —
+    serving a guaranteed-late answer only adds queueing delay for
+    everyone behind it.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.stats = AdmissionStats()
+        self._in_queue = 0
+
+    @property
+    def depth(self) -> int:
+        """Requests currently admitted but not yet in service."""
+        return self._in_queue
+
+    def offer(self, request: InferenceRequest, now: float) -> bool:
+        """Admit or shed ``request`` at time ``now``."""
+        if self._in_queue >= self.capacity:
+            request.outcome = "shed"
+            request.completion = now
+            self.stats.shed += 1
+            return False
+        request.outcome = "queued"
+        self.stats.admitted += 1
+        self._in_queue += 1
+        return True
+
+    def take(self, request: InferenceRequest, now: float) -> bool:
+        """Move ``request`` from the queue into service; False = deadline
+        drop (the request leaves the system instead)."""
+        self._in_queue -= 1
+        if now > request.deadline:
+            request.outcome = "dropped"
+            request.completion = now
+            self.stats.dropped += 1
+            return False
+        request.outcome = "in_service"
+        return True

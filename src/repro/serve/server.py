@@ -1,0 +1,377 @@
+"""The online-serving event simulation.
+
+:class:`ServerSim` wires three processes over one
+:class:`~repro.sim.events.EventLoop`:
+
+* **arrivals** — replays the deterministic request schedule through
+  admission control (queue cap -> shed);
+* **batcher** — drives a :class:`~repro.serve.batcher.MicroBatcher`
+  (size/window triggers) and hands closed batches to the dispatch queue;
+* **gpu** — drains the dispatch backlog (FastGL profiles reorder it by
+  match degree), deadline-drops stale requests, and services each batch
+  through the profile's modeled sample -> memory IO -> aggregate path.
+
+Every request's journey and every GPU phase becomes a modeled span, so
+the exported Chrome trace reconciles with the event-loop makespan
+exactly; the :class:`ServeReport` carries per-request latencies
+(p50/p95/p99), throughput, shed/drop counts and GPU occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import RunConfig
+from repro.obs import get_registry
+from repro.obs.trace import Tracer
+from repro.serve.batcher import MicroBatcher, select_next_batch
+from repro.serve.profiles import ServingProfile
+from repro.serve.request import RequestQueue, build_schedule
+from repro.sim.events import TIMEOUT, EventLoop
+
+#: Latency-scaled histogram buckets (seconds) for serving metrics.
+LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                   0.1, 0.25, 0.5, 1.0, 2.5)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one serving run (arrival process + server policy)."""
+
+    #: Mean arrival rate, requests/second.
+    rate: float = 500.0
+    num_requests: int = 200
+    #: "poisson", "bursty" or "replay" (with ``replay_times``).
+    arrival: str = "poisson"
+    #: Seed nodes per request (a recommendation query's candidate set).
+    seeds_per_request: int = 4
+    #: Micro-batch size trigger.
+    max_batch: int = 16
+    #: Micro-batch window trigger (seconds from batch open).
+    batch_window_s: float = 0.004
+    #: Admission-queue capacity; arrivals beyond it are shed.
+    queue_capacity: int = 64
+    #: Latency SLO; requests whose deadline passed before service start
+    #: are dropped. <= 0 disables deadlines.
+    slo_s: float = 0.25
+    seed: int = 0
+    replay_times: tuple | None = None
+
+
+@dataclass
+class ServeReport:
+    """Everything one serving simulation produced."""
+
+    framework: str
+    dataset: str
+    config: ServeConfig
+    requests: list
+    batches: list
+    #: Event-loop end time: when the last request left the system.
+    makespan: float
+    #: Per-phase busy seconds on the GPU lane.
+    phase_busy: dict = field(default_factory=dict)
+    #: Merged byte accounting across all serviced batches.
+    transfer: object = None
+    #: Modeled spans (same dict layout as training timelines).
+    timeline: list = field(default_factory=list)
+
+    # -- request outcomes ----------------------------------------------------
+    @property
+    def completed(self) -> list:
+        return [r for r in self.requests if r.outcome == "completed"]
+
+    @property
+    def num_completed(self) -> int:
+        return len(self.completed)
+
+    @property
+    def num_shed(self) -> int:
+        return sum(1 for r in self.requests if r.outcome == "shed")
+
+    @property
+    def num_dropped(self) -> int:
+        return sum(1 for r in self.requests if r.outcome == "dropped")
+
+    @property
+    def shed_rate(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self.num_shed / len(self.requests)
+
+    @property
+    def sla_misses(self) -> int:
+        """Completed requests that finished after their deadline."""
+        return sum(1 for r in self.completed if not r.met_deadline)
+
+    # -- latency/throughput --------------------------------------------------
+    @property
+    def latencies(self) -> np.ndarray:
+        return np.array([r.latency for r in self.completed], dtype=float)
+
+    def percentile(self, q: float) -> float:
+        lat = self.latencies
+        if len(lat) == 0:
+            return float("nan")
+        return float(np.percentile(lat, q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def mean_latency(self) -> float:
+        lat = self.latencies
+        return float(lat.mean()) if len(lat) else float("nan")
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.num_completed / self.makespan
+
+    @property
+    def mean_batch_size(self) -> float:
+        sizes = [b.size for b in self.batches]
+        return float(np.mean(sizes)) if sizes else 0.0
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the makespan the GPU spent servicing batches."""
+        if self.makespan <= 0:
+            return 0.0
+        return sum(self.phase_busy.values()) / self.makespan
+
+    # -- timeline ------------------------------------------------------------
+    @property
+    def timeline_extent(self) -> float:
+        """Latest span end — must reconcile with :attr:`makespan`."""
+        if not self.timeline:
+            return 0.0
+        return max(s["start"] + s["dur"] for s in self.timeline)
+
+    def reconciles(self, tol: float = 1e-6) -> bool:
+        return abs(self.timeline_extent - self.makespan) <= tol
+
+    def to_tracer(self) -> Tracer:
+        tracer = Tracer(enabled=True)
+        for span in self.timeline:
+            tracer.add_span(
+                span["name"], start=span["start"], duration=span["dur"],
+                lane=span["lane"], category=span["cat"],
+                **{k: v for k, v in span.items()
+                   if k not in ("name", "start", "dur", "lane", "cat")},
+            )
+        return tracer
+
+    def write_chrome_trace(self, path) -> int:
+        return self.to_tracer().write_chrome_trace(
+            path, pid=f"serve:{self.framework}",
+            other_data={"framework": self.framework,
+                        "dataset": self.dataset,
+                        "makespan_s": self.makespan},
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.framework} served {self.num_completed}/"
+            f"{len(self.requests)} requests on {self.dataset}: "
+            f"p50 {self.p50 * 1e3:.2f}ms, p95 {self.p95 * 1e3:.2f}ms, "
+            f"p99 {self.p99 * 1e3:.2f}ms, "
+            f"{self.throughput:.0f} req/s, "
+            f"shed {self.num_shed}, dropped {self.num_dropped}, "
+            f"occupancy {self.occupancy:.0%}"
+        )
+
+
+class ServerSim:
+    """One framework's serving simulation over one request schedule."""
+
+    def __init__(self, profile: ServingProfile,
+                 serve_config: ServeConfig | None = None) -> None:
+        self.profile = profile
+        self.serve_config = serve_config or ServeConfig()
+
+    def _schedule(self) -> list:
+        dataset = self.profile.dataset
+        cfg = self.serve_config
+        pool = dataset.test_ids if len(dataset.test_ids) else dataset.train_ids
+        return build_schedule(
+            cfg.arrival, cfg.rate, cfg.num_requests,
+            seed_pool=pool, seeds_per_request=cfg.seeds_per_request,
+            slo_s=cfg.slo_s, seed=cfg.seed, replay_times=cfg.replay_times,
+        )
+
+    def run(self) -> ServeReport:
+        profile = self.profile
+        cfg = self.serve_config
+        requests = self._schedule()
+        loop = EventLoop()
+        admitted = loop.queue("admitted")
+        dispatch = loop.queue("dispatch")
+        admission = RequestQueue(cfg.queue_capacity)
+        batcher = MicroBatcher(cfg.max_batch, cfg.batch_window_s)
+
+        timeline: list = []
+        batches: list = []
+        backlog: list = []
+        phase_busy = {"sample": 0.0, "memory_io": 0.0, "compute": 0.0}
+        transfer_total = None
+
+        registry = get_registry()
+        obs_outcome = registry.counter(
+            "repro_serve_requests_total",
+            "Inference requests by final outcome",
+        )
+        obs_latency = registry.histogram(
+            "repro_serve_latency_seconds",
+            "End-to-end request latency (arrival to completion)",
+            buckets=LATENCY_BUCKETS,
+        ).labels(framework=profile.name)
+        obs_batch = registry.histogram(
+            "repro_serve_batch_size",
+            "Requests coalesced per micro-batch",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        ).labels(framework=profile.name)
+        obs_busy = registry.counter(
+            "repro_serve_busy_seconds_total",
+            "Modeled GPU seconds per serving phase",
+        )
+
+        def queue_span(request, end, outcome):
+            timeline.append({
+                "lane": "requests", "name": f"{outcome}[{request.req_id}]",
+                "cat": "queue", "start": request.arrival,
+                "dur": max(0.0, end - request.arrival),
+                "request": request.req_id,
+            })
+
+        def arrivals():
+            for request in requests:
+                yield max(0.0, request.arrival - loop.now)
+                if admission.offer(request, loop.now):
+                    admitted.put(request)
+                else:
+                    queue_span(request, loop.now, "shed")
+                    obs_outcome.labels(framework=profile.name,
+                                       outcome="shed").inc()
+
+        def batching():
+            while True:
+                first = yield admitted.get()
+                full = batcher.open(first, loop.now)
+                while not full:
+                    remaining = batcher.close_deadline - loop.now
+                    if remaining <= 0:
+                        break
+                    item = yield admitted.get(timeout=remaining)
+                    if item is TIMEOUT:
+                        break
+                    full = batcher.add(item, loop.now)
+                dispatch.put(batcher.close(
+                    loop.now, trigger="size" if full else "window"))
+
+        def gpu():
+            nonlocal transfer_total
+            while True:
+                if not backlog:
+                    backlog.append((yield dispatch.get()))
+                while True:  # drain batches that closed while busy
+                    extra = dispatch.get_nowait()
+                    if extra is TIMEOUT:
+                        break
+                    backlog.append(extra)
+                index = 0
+                if profile.reorder_backlog and len(backlog) > 1:
+                    index = select_next_batch(backlog,
+                                              profile.resident_nodes)
+                batch = backlog.pop(index)
+                live = []
+                for request in batch.requests:
+                    if admission.take(request, loop.now):
+                        live.append(request)
+                    else:
+                        queue_span(request, loop.now, "dropped")
+                        obs_outcome.labels(framework=profile.name,
+                                           outcome="dropped").inc()
+                if not live:
+                    continue
+                seeds = np.unique(np.concatenate(
+                    [r.seeds for r in live]))
+                times, _, transfer = profile.service(seeds)
+                if transfer_total is None:
+                    transfer_total = type(transfer)()
+                transfer_total.merge(transfer)
+                start = loop.now
+                cursor = start
+                for phase, duration in (("sample", times.sample),
+                                        ("memory_io", times.memory_io),
+                                        ("compute", times.compute)):
+                    if duration > 0:
+                        timeline.append({
+                            "lane": "gpu0",
+                            "name": f"{phase}[{batch.batch_id}]",
+                            "cat": phase, "start": cursor,
+                            "dur": duration, "batch": batch.batch_id,
+                        })
+                        cursor += duration
+                    phase_busy[phase] += duration
+                    obs_busy.labels(framework=profile.name,
+                                    phase=phase).inc(duration)
+                yield times.total
+                batch.service_start = start
+                batch.service_end = loop.now
+                batch.requests = live
+                batches.append(batch)
+                obs_batch.observe(len(live))
+                for request in live:
+                    request.completion = loop.now
+                    request.outcome = "completed"
+                    queue_span(request, start, "wait")
+                    obs_outcome.labels(framework=profile.name,
+                                       outcome="completed").inc()
+                    obs_latency.observe(request.latency)
+
+        loop.spawn(arrivals())
+        loop.spawn(batching())
+        loop.spawn(gpu())
+        makespan = loop.run()
+
+        return ServeReport(
+            framework=profile.name,
+            dataset=profile.dataset.name,
+            config=cfg,
+            requests=requests,
+            batches=batches,
+            makespan=makespan,
+            phase_busy=phase_busy,
+            transfer=transfer_total,
+            timeline=timeline,
+        )
+
+
+def simulate(
+    framework,
+    dataset,
+    *,
+    run_config: RunConfig | None = None,
+    serve_config: ServeConfig | None = None,
+    model: str = "gcn",
+    spec=None,
+) -> ServeReport:
+    """Build a profile for ``framework`` and run one serving simulation."""
+    run_config = run_config or RunConfig(num_gpus=1)
+    profile = ServingProfile.build(framework, dataset, run_config,
+                                   model=model, spec=spec)
+    return ServerSim(profile, serve_config).run()

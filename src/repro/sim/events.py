@@ -1,10 +1,13 @@
 """A minimal discrete-event simulation engine.
 
 Processes are generators that ``yield`` either a float (sleep that many
-seconds) or a :class:`Resource` request obtained from ``resource.acquire()``
-(wait until granted). The loop advances virtual time through a heap of
-pending events. Small by design — just enough to model producer/consumer
-pipelines over exclusive resources (a sampler GPU, a PCIe link).
+seconds), a :class:`Resource` request obtained from ``resource.acquire()``
+(wait until granted), or a :class:`Queue` request from ``queue.get()``
+(wait until an item arrives; resumes with the item as the yield's value).
+The loop advances virtual time through a heap of pending events. Small by
+design — just enough to model producer/consumer pipelines over exclusive
+resources (a sampler GPU, a PCIe link) and message-passing servers (the
+online-serving simulator in :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -12,6 +15,9 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from typing import Generator
+
+#: Sentinel a timed-out ``queue.get(timeout=...)`` resumes with.
+TIMEOUT = object()
 
 
 class Resource:
@@ -54,6 +60,62 @@ class _Acquire:
         self.resource = resource
 
 
+class Queue:
+    """An unbounded FIFO message queue between processes.
+
+    A consumer yields ``queue.get()`` and resumes with the item (or
+    :data:`TIMEOUT` if a timeout was given and expired first). ``put`` is
+    an ordinary call — usable from any process or callback — that either
+    hands the item to the oldest waiter or buffers it.
+    """
+
+    def __init__(self, loop: "EventLoop", name: str = "") -> None:
+        self._loop = loop
+        self.name = name
+        self._items: deque = deque()
+        self._waiters: deque = deque()  # pending _Get requests
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item) -> None:
+        while self._waiters:
+            get = self._waiters.popleft()
+            if get.done:
+                continue  # expired via timeout; already resumed
+            get.done = True
+            self._loop._schedule(0.0, get.process, item)
+            return
+        self._items.append(item)
+
+    def get(self, timeout: float | None = None) -> "_Get":
+        return _Get(self, timeout)
+
+    def get_nowait(self):
+        """Pop the oldest buffered item, or :data:`TIMEOUT` if empty."""
+        if self._items:
+            return self._items.popleft()
+        return TIMEOUT
+
+
+class _Get:
+    """Yielded by processes to request the next queue item."""
+
+    def __init__(self, queue: Queue, timeout: float | None) -> None:
+        self.queue = queue
+        self.timeout = timeout
+        self.process = None
+        #: Set once the get was satisfied (or timed out) so the losing
+        #: side of the race becomes a no-op.
+        self.done = False
+
+    def _expire(self) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.queue._loop._schedule(0.0, self.process, TIMEOUT)
+
+
 class EventLoop:
     """Heap-driven virtual-time event loop."""
 
@@ -65,34 +127,57 @@ class EventLoop:
     def resource(self, name: str = "") -> Resource:
         return Resource(self, name)
 
+    def queue(self, name: str = "") -> Queue:
+        return Queue(self, name)
+
     def spawn(self, process: Generator) -> None:
         """Register a generator process to start at the current time."""
         self._schedule(0.0, process)
 
-    def _schedule(self, delay: float, process: Generator) -> None:
+    def call_later(self, delay: float, callback) -> None:
+        """Schedule a plain callable (no generator protocol)."""
+        self._schedule(delay, callback)
+
+    def _schedule(self, delay: float, process, value=None) -> None:
         if delay < 0:
             raise ValueError("negative delay")
         self._counter += 1
-        heapq.heappush(self._heap, (self.now + delay, self._counter, process))
+        heapq.heappush(
+            self._heap, (self.now + delay, self._counter, process, value)
+        )
 
     def run(self, until: float | None = None) -> float:
         """Run until no events remain (or virtual time passes ``until``).
 
-        Returns the final virtual time.
+        Returns the final virtual time. Expired timer callbacks that have
+        nothing left to do (their ``get`` already completed) are skipped
+        without advancing the clock, so stale batching-window timers never
+        inflate a simulation's makespan.
         """
         while self._heap:
-            time, _, process = heapq.heappop(self._heap)
+            time, _, process, value = heapq.heappop(self._heap)
+            if isinstance(process, _Get):
+                # A queue timeout firing: skip silently (clock untouched)
+                # when the get already completed.
+                if process.done:
+                    continue
+                self.now = time
+                process._expire()
+                continue
             if until is not None and time > until:
-                heapq.heappush(self._heap, (time, self._counter, process))
+                self._schedule(time - self.now, process, value)
                 self.now = until
                 return self.now
             self.now = time
-            self._step(process)
+            self._step(process, value)
         return self.now
 
-    def _step(self, process: Generator) -> None:
+    def _step(self, process, value=None) -> None:
+        if not hasattr(process, "send"):  # plain callback via call_later
+            process()
+            return
         try:
-            request = next(process)
+            request = process.send(value)
         except StopIteration:
             return
         if isinstance(request, (int, float)):
@@ -101,8 +186,20 @@ class EventLoop:
             if request.resource._try_acquire(process):
                 self._schedule(0.0, process)
             # else: the resource queued the process; it resumes on release.
+        elif isinstance(request, _Get):
+            queue = request.queue
+            request.process = process
+            if queue._items:
+                request.done = True
+                self._schedule(0.0, process, queue._items.popleft())
+            else:
+                queue._waiters.append(request)
+                if request.timeout is not None:
+                    # The heap entry *is* the timer; run() routes it to
+                    # _expire (or skips it if the get completed first).
+                    self._schedule(float(request.timeout), request)
         else:
             raise TypeError(
                 f"process yielded {type(request).__name__}; expected a "
-                "delay (float) or resource.acquire()"
+                "delay (float), resource.acquire() or queue.get()"
             )
