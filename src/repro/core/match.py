@@ -88,10 +88,19 @@ class MatchState:
         """Forget residency (start of an epoch / device flush)."""
         self._resident = np.empty(0, dtype=np.int64)
 
-    def step(self, wanted: np.ndarray) -> MatchResult:
+    def step(self, wanted: np.ndarray,
+             sorted_wanted: np.ndarray | None = None) -> MatchResult:
         """Match ``wanted`` against the resident set, then make ``wanted``
-        the new resident set (its features now occupy the device buffer)."""
+        the new resident set (its features now occupy the device buffer).
+
+        ``sorted_wanted``, when provided, must be ``np.sort(wanted)`` —
+        callers holding a cached sorted view (e.g.
+        ``SampledSubgraph.unique_input_nodes()``) pass it to skip the
+        re-sort; the :class:`MatchResult` is still in ``wanted`` order.
+        """
         wanted = np.asarray(wanted, dtype=np.int64)
         result = match_split(self._resident, wanted)
-        self._resident = np.sort(wanted)
+        if sorted_wanted is None:
+            sorted_wanted = np.sort(wanted)
+        self._resident = np.asarray(sorted_wanted, dtype=np.int64)
         return result

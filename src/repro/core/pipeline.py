@@ -163,7 +163,8 @@ class FastGLTrainer:
         order = list(range(len(subgraphs)))
         if len(subgraphs) > 2:
             matrix = match_degree_matrix(
-                [sg.input_nodes for sg in subgraphs]
+                [sg.unique_input_nodes() for sg in subgraphs],
+                assume_unique=True,
             )
             order = greedy_reorder(matrix)
         # (3) Match-load + Memory-Aware compute, batch by batch.

@@ -4,20 +4,29 @@ Usage::
 
     python -m repro.experiments                 # run everything
     python -m repro.experiments fig09 tab08     # selected experiments
+    python -m repro.experiments --all --jobs 4  # shard across 4 cores
     python -m repro.experiments --list
     python -m repro.experiments --out results/  # also write .txt files
 
 Heavy experiments (fig09, fig14, fig16) take a few minutes each at the
-default reproduction scale.
+default reproduction scale; ``--jobs N`` shards the selected experiments
+across ``N`` worker processes (results and rendered text are identical
+to a serial run — see :mod:`repro.parallel`). When exactly one
+experiment is selected, ``--jobs`` is instead forwarded to the
+experiment itself if it supports internal sharding (e.g. the serving
+sweeps).
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import pathlib
 import sys
 import time
+
+from repro.parallel import parallel_map, resolve_jobs
 
 #: Experiment ID -> (module, callable) in the paper's presentation order.
 EXPERIMENTS = {
@@ -64,10 +73,38 @@ EXPERIMENTS = {
 }
 
 
-def run_one(exp_id: str):
+def run_one(exp_id: str, jobs: int = 1):
     module_name, fn_name = EXPERIMENTS[exp_id]
     module = importlib.import_module(module_name)
-    return getattr(module, fn_name)()
+    fn = getattr(module, fn_name)
+    if jobs != 1 and "jobs" in inspect.signature(fn).parameters:
+        return fn(jobs=jobs)
+    return fn()
+
+
+def run_suite(experiment_ids, jobs: int = 1) -> list:
+    """Run experiments (sharded across ``jobs`` processes when more than
+    one is selected); returns ``(exp_id, result, seconds)`` tuples in
+    selection order. Results are identical at any job count — each
+    experiment is a deterministic function of its seed."""
+    experiment_ids = list(experiment_ids)
+    jobs = resolve_jobs(jobs)
+    if len(experiment_ids) <= 1 or jobs <= 1:
+        # Single selection: forward jobs to the experiment itself.
+        inner = jobs if len(experiment_ids) == 1 else 1
+        out = []
+        for exp_id in experiment_ids:
+            start = time.perf_counter()
+            result = run_one(exp_id, jobs=inner)
+            out.append((exp_id, result, time.perf_counter() - start))
+        return out
+
+    def task(exp_id):
+        start = time.perf_counter()
+        result = run_one(exp_id)
+        return exp_id, result, time.perf_counter() - start
+
+    return parallel_map(task, experiment_ids, jobs=jobs)
 
 
 def main(argv=None) -> int:
@@ -77,6 +114,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiments", nargs="*",
                         help="experiment IDs (default: all)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment (the default when none "
+                             "are named; explicit for use with --jobs)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes to shard experiments across "
+                             "(0 = all cores; default 1 = serial)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiment IDs and exit")
     parser.add_argument("--out", type=pathlib.Path, default=None,
@@ -88,7 +131,10 @@ def main(argv=None) -> int:
             print(f"{exp_id:14s} {module}.{fn}")
         return 0
 
-    selected = args.experiments or list(EXPERIMENTS)
+    if args.all or not args.experiments:
+        selected = list(EXPERIMENTS)
+    else:
+        selected = args.experiments
     unknown = [e for e in selected if e not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {unknown}; "
@@ -96,12 +142,10 @@ def main(argv=None) -> int:
 
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
-    for exp_id in selected:
-        start = time.time()
-        result = run_one(exp_id)
+    for exp_id, result, seconds in run_suite(selected, jobs=args.jobs):
         text = result.render()
         print(text)
-        print(f"[{exp_id} took {time.time() - start:.1f}s]\n")
+        print(f"[{exp_id} took {seconds:.1f}s]\n")
         if args.out:
             (args.out / f"{exp_id}.txt").write_text(text + "\n")
     return 0

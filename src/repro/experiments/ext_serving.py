@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.config import RunConfig
 from repro.experiments.runner import ExperimentResult
 from repro.graph.datasets import get_dataset
+from repro.parallel import parallel_map
 from repro.serve import ServeConfig, simulate
 
 #: Arrival rates (req/s) spanning under- to over-saturation on the
@@ -46,7 +47,8 @@ def _serve(framework, dataset, config, **overrides):
 
 
 def run_rate_sweep(dataset_name: str = "reddit",
-                   config: RunConfig | None = None) -> ExperimentResult:
+                   config: RunConfig | None = None,
+                   jobs: int = 1) -> ExperimentResult:
     config = config or RunConfig(num_gpus=1, seed=0)
     dataset = get_dataset(dataset_name, seed=config.seed)
     result = ExperimentResult(
@@ -56,22 +58,28 @@ def run_rate_sweep(dataset_name: str = "reddit",
         headers=["rate_rps", "framework", "p50_ms", "p99_ms",
                  "goodput_rps", "shed", "dropped", "occupancy"],
     )
-    for rate in RATES:
-        for framework in ("dgl", "fastgl"):
-            report = _serve(framework, dataset, config, rate=rate)
-            goodput = (report.num_completed - report.sla_misses) \
-                / report.makespan
-            result.rows.append([
-                int(rate), framework,
-                round(report.p50 * 1e3, 3),
-                round(report.p99 * 1e3, 3),
-                round(goodput, 1),
-                report.num_shed, report.num_dropped,
-                round(report.occupancy, 3),
-            ])
-        dgl_row, fast_row = result.rows[-2], result.rows[-1]
+    grid = [(rate, framework)
+            for rate in RATES for framework in ("dgl", "fastgl")]
+
+    def point(args):
+        rate, framework = args
+        report = _serve(framework, dataset, config, rate=rate)
+        goodput = (report.num_completed - report.sla_misses) \
+            / report.makespan
+        return [
+            int(rate), framework,
+            round(report.p50 * 1e3, 3),
+            round(report.p99 * 1e3, 3),
+            round(goodput, 1),
+            report.num_shed, report.num_dropped,
+            round(report.occupancy, 3),
+        ]
+
+    result.rows.extend(parallel_map(point, grid, jobs=jobs))
+    for i in range(0, len(result.rows), 2):
+        dgl_row, fast_row = result.rows[i], result.rows[i + 1]
         result.series.append((
-            f"p99_ms@{int(rate)}", ["dgl", "fastgl"],
+            f"p99_ms@{dgl_row[0]}", ["dgl", "fastgl"],
             [dgl_row[3], fast_row[3]],
         ))
     result.notes.append(
@@ -83,7 +91,8 @@ def run_rate_sweep(dataset_name: str = "reddit",
 
 
 def run_window_sweep(dataset_name: str = "reddit",
-                     config: RunConfig | None = None) -> ExperimentResult:
+                     config: RunConfig | None = None,
+                     jobs: int = 1) -> ExperimentResult:
     config = config or RunConfig(num_gpus=1, seed=0)
     dataset = get_dataset(dataset_name, seed=config.seed)
     result = ExperimentResult(
@@ -93,17 +102,20 @@ def run_window_sweep(dataset_name: str = "reddit",
         headers=["window_ms", "mean_batch", "p50_ms", "p99_ms",
                  "gpu_passes", "occupancy"],
     )
-    for window in WINDOWS:
+
+    def point(window):
         report = _serve("fastgl", dataset, config, rate=3_000.0,
                         num_requests=300, batch_window_s=window)
-        result.rows.append([
+        return [
             round(window * 1e3, 1),
             round(report.mean_batch_size, 1),
             round(report.p50 * 1e3, 3),
             round(report.p99 * 1e3, 3),
             len(report.batches),
             round(report.occupancy, 3),
-        ])
+        ]
+
+    result.rows.extend(parallel_map(point, WINDOWS, jobs=jobs))
     result.notes.append(
         "window 0 serves singletons, saturates the GPU and queues; wider "
         "windows coalesce more requests per pass (occupancy falls, match "

@@ -36,6 +36,7 @@ from repro.graph.datasets import Dataset
 from repro.graph.partition import MinibatchPlan
 from repro.nn import Adam, Tensor, build_model, cross_entropy
 from repro.obs import get_registry
+from repro.parallel import ParallelExecutor
 from repro.sampling import (
     BaselineIdMap,
     NeighborSampler,
@@ -294,8 +295,20 @@ class Framework:
         config: RunConfig,
         model_name: str = "gcn",
         sampler: Sampler | None = None,
+        jobs: int = 1,
     ) -> EpochReport:
-        """Execute one epoch and return its full report."""
+        """Execute one epoch and return its full report.
+
+        ``jobs > 1`` computes the per-trainer lanes (reorder + transfer
+        planning + compute modeling) in forked worker processes via
+        :mod:`repro.parallel`. Sampling stays in the parent (the shared
+        sampler RNG's consumption order must not depend on the job
+        count), as do model training and the final accumulation — both
+        run over the lanes' returned records in lane order, so the
+        report and merged metrics are bit-identical to ``jobs=1``.
+        Multi-epoch runs with loaders that carry state across epochs
+        (the SSD page caches) fall back to in-process lanes.
+        """
         cost = config.cost
         rngs = RngFactory(config.seed)
         link = link_from_cost(self.spec, cost)
@@ -364,29 +377,55 @@ class Framework:
             "repro_batches_total", "Mini-batches processed",
         ).labels(framework=self.name)
 
+        # Multi-epoch runs with cross-epoch loader state (SSD page
+        # caches) must evolve that state in the parent process.
+        lane_jobs = jobs
+        if max(1, config.num_epochs) > 1 and any(
+            loader.carries_state_across_epochs for loader in loaders
+        ):
+            lane_jobs = 1
+        lane_executor = ParallelExecutor(jobs=lane_jobs)
+
         for epoch in range(max(1, config.num_epochs)):
             batches = plan.batches(rngs.child(f"epoch-shuffle:{epoch}"))
             chunks = _chunk(batches, trainers)
             num_batches += len(batches)
+            # Sample every lane in the parent: the shared sampler RNG's
+            # draw order is part of the results and must not depend on
+            # the job count.
+            lane_subgraphs = [
+                [sampler.sample(batch) for batch in chunk]
+                for chunk in chunks
+            ]
+
+            def lane_task(t):
+                return self._run_lane(
+                    lane_subgraphs[t], loaders[t], sampler, config, cost,
+                    link, cost_model, profile, dataset, param_bytes,
+                    trainers,
+                )
+
+            # Lane records come back in lane order; worker-side metric
+            # snapshots (loader counters, reorder histograms, storage
+            # schedulers) are merged in lane order too — the serial path
+            # runs the identical fresh-registry protocol, so the merged
+            # registry is the same at any job count.
+            lane_records = lane_executor.map(lane_task, range(len(chunks)))
+
             per_trainer_iters: list = []  # per trainer: (sample, io, comp)
-            for t, chunk in enumerate(chunks):
-                loader = loaders[t]
-                loader.reset_epoch()
-                subgraphs = [sampler.sample(batch) for batch in chunk]
-                order = list(range(len(subgraphs)))
-                if self.use_reorder and len(subgraphs) > 2:
-                    order = self._reorder_windows(subgraphs, config)
+            for t, records in enumerate(lane_records):
+                chunk = chunks[t]
+                subgraphs = lane_subgraphs[t]
                 iters = []
-                for position in order:
+                for rec in records:
+                    position = rec["position"]
                     sg = subgraphs[position]
                     seeds = chunk[position]
-                    sample_t = sampler.modeled_sample_time(sg, cost)
-                    idmap_t = sg.idmap_report.modeled_time(cost)
-                    sample_t += idmap_t
-
-                    report = loader.plan(sg)
-                    comp = cost_model.subgraph_report(sg, profile)
-                    io_t = self._io_time(report, comp, link, cost, trainers)
+                    sample_t = rec["sample_t"]
+                    idmap_t = rec["idmap_t"]
+                    io_t = rec["io_t"]
+                    report = rec["report"]
+                    comp = rec["comp"]
 
                     phases.sample += sample_t
                     phases.idmap += idmap_t
@@ -424,8 +463,7 @@ class Framework:
                         optimizer.step()
                         losses.append(float(loss.data))
 
-                    usage = self._workspace_bytes(sg, profile, dataset,
-                                                  param_bytes, config)
+                    usage = rec["usage"]
                     if usage["total"] > memory_peak:
                         memory_peak = usage["total"]
                         memory_detail = usage
@@ -464,6 +502,45 @@ class Framework:
         )
 
     # -- helpers ---------------------------------------------------------------
+    def _run_lane(self, subgraphs: list, loader, sampler, config: RunConfig,
+                  cost, link, cost_model, profile, dataset, param_bytes,
+                  trainers: int) -> list:
+        """One trainer lane's post-sampling work: window reorder, transfer
+        planning, compute modeling, workspace sizing.
+
+        Pure with respect to the parent's accumulators — everything the
+        epoch driver folds is returned as picklable per-batch records (in
+        execution order), so the lane can run in a forked worker. Metric
+        side effects (loader counters, reorder histograms) go to whatever
+        registry is current — the executor's per-chunk registry protocol
+        captures and merges them.
+        """
+        loader.reset_epoch()
+        order = list(range(len(subgraphs)))
+        if self.use_reorder and len(subgraphs) > 2:
+            order = self._reorder_windows(subgraphs, config)
+        records = []
+        for position in order:
+            sg = subgraphs[position]
+            sample_t = sampler.modeled_sample_time(sg, cost)
+            idmap_t = sg.idmap_report.modeled_time(cost)
+            sample_t += idmap_t
+            report = loader.plan(sg)
+            comp = cost_model.subgraph_report(sg, profile)
+            io_t = self._io_time(report, comp, link, cost, trainers)
+            usage = self._workspace_bytes(sg, profile, dataset,
+                                          param_bytes, config)
+            records.append({
+                "position": position,
+                "sample_t": sample_t,
+                "idmap_t": idmap_t,
+                "io_t": io_t,
+                "report": report,
+                "comp": comp,
+                "usage": usage,
+            })
+        return records
+
     def _reorder_windows(self, subgraphs: list, config: RunConfig) -> list:
         """Greedy-reorder each window of ``reorder_window`` mini-batches."""
         order: list = []
@@ -479,7 +556,8 @@ class Framework:
             group = list(range(start, min(start + window, len(subgraphs))))
             if len(group) > 2:
                 matrix = match_degree_matrix(
-                    [subgraphs[i].input_nodes for i in group]
+                    [subgraphs[i].unique_input_nodes() for i in group],
+                    assume_unique=True,
                 )
                 chosen = greedy_reorder(matrix)
                 if registry.enabled:

@@ -288,6 +288,64 @@ class MetricsRegistry:
         with self._lock:
             self._families.clear()
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :func:`repro.obs.exporters.to_snapshot` dict into this
+        registry (the multi-process story: each worker process has its own
+        per-process registry, snapshots it, and the parent merges).
+
+        Per-kind semantics:
+
+        * **counter** — values add (each process counted disjoint work);
+        * **gauge** — last write wins (a gauge is instantaneous state;
+          summing occupancy/capacity across processes would inflate it).
+          Merge snapshots in a deterministic order to get a deterministic
+          final value;
+        * **histogram** — per-bucket counts, ``sum`` and ``count`` all
+          add. Bucket bounds must match the existing family's (bounds
+          round-trip through the snapshot's ``%g`` rendering, so families
+          created by a merge use the parsed bounds).
+
+        Families/children absent from this registry are created. A kind
+        conflict with an existing family raises ``ValueError``. Merging
+        into a disabled registry is a no-op.
+        """
+        if not self.enabled:
+            return
+        for metric in snapshot.get("metrics", []):
+            name = metric["name"]
+            kind = metric["kind"]
+            for sample in metric.get("samples", []):
+                labels = sample.get("labels", {})
+                if kind == "histogram":
+                    bounds = tuple(
+                        float(b) for b, _ in sample["buckets"]
+                        if b != "+Inf"
+                    )
+                    family = self._family(name, kind, metric.get("help", ""),
+                                          buckets=bounds)
+                    child = family.labels(**labels)
+                    if child.bounds != bounds:
+                        raise ValueError(
+                            f"histogram {name!r} bucket bounds differ: "
+                            f"{child.bounds} vs snapshot {bounds}"
+                        )
+                    cumulative = [c for _, c in sample["buckets"]]
+                    with child._lock:
+                        previous = 0
+                        for i, cum in enumerate(cumulative):
+                            child.counts[i] += cum - previous
+                            previous = cum
+                        child.sum += float(sample["sum"])
+                        child.count += int(sample["count"])
+                else:
+                    family = self._family(name, kind, metric.get("help", ""))
+                    child = family.labels(**labels)
+                    value = float(sample["value"])
+                    if kind == "counter":
+                        child.inc(value)
+                    else:
+                        child.set(value)
+
 
 # -- package-default registry ------------------------------------------------
 _default_registry = MetricsRegistry(enabled=False)

@@ -1,0 +1,22 @@
+"""Multi-core execution engine (``--jobs N``).
+
+See :mod:`repro.parallel.executor` for the determinism contract: job
+count changes wall-clock only, never results, random streams, or merged
+metrics.
+"""
+
+from repro.parallel.executor import (
+    ParallelExecutor,
+    fork_available,
+    parallel_map,
+    resolve_jobs,
+    task_rng,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "fork_available",
+    "parallel_map",
+    "resolve_jobs",
+    "task_rng",
+]

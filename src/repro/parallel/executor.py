@@ -1,0 +1,200 @@
+"""Fork-based process-pool executor with deterministic semantics.
+
+The engine behind ``--jobs N``: it shards a list of independent tasks
+(experiment figures, per-trainer epoch lanes, serving sweep points)
+across worker processes while keeping every observable output —
+results, per-task random streams, merged metrics — **independent of the
+job count**. ``jobs=4`` must be a pure wall-clock optimization; the
+determinism tests in ``tests/test_parallel.py`` hold it to that.
+
+How jobs-independence is achieved:
+
+* **Per-task seeding.** Each task's RNG derives from
+  ``(seed, task_index)`` via :func:`task_rng`, never from the worker
+  that happens to run it.
+* **Inherited closures, queued indices.** Workers are forked, so the
+  function and items are inherited memory — only *chunk indices* go to
+  workers and only (picklable) results come back. This lets callers
+  pass closures over datasets without pickling either.
+* **Ordered metric folding.** Every chunk — serial or parallel — runs
+  against a fresh worker-side :class:`~repro.obs.registry.MetricsRegistry`
+  whose snapshot the parent merges *in chunk order* after all chunks
+  finish. The serial fallback runs the exact same fresh-registry
+  chunk protocol, so ``jobs=1`` and ``jobs=N`` fold identical
+  floating-point sums in identical order.
+
+The serial fallback engages when ``jobs <= 1``, when the platform lacks
+the ``fork`` start method (the executor never pickles the task
+function, so ``spawn`` cannot substitute), or when there is at most one
+chunk of work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import traceback
+
+import numpy as np
+
+from repro.obs.exporters import to_snapshot
+from repro.obs.registry import MetricsRegistry, get_registry, set_registry
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` mean all cores,
+    negatives raise, anything else passes through."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0 (0 = all cores)")
+    return jobs
+
+
+def task_rng(seed: int, index: int) -> np.random.Generator:
+    """The deterministic per-task generator: seeded by the pair
+    ``(seed, index)``, so it depends only on which task this is — not on
+    the worker, the chunking, or the job count."""
+    return np.random.default_rng(np.random.SeedSequence([int(seed),
+                                                         int(index)]))
+
+
+def _run_chunk(fn, items, start_index, seed, obs_enabled):
+    """Run one chunk under a fresh registry; return (values, snapshot).
+
+    Both the serial path and the forked workers funnel through this, so
+    the metric-folding structure is identical in both modes.
+    """
+    parent = get_registry()
+    registry = MetricsRegistry(enabled=obs_enabled)
+    set_registry(registry)
+    try:
+        values = []
+        for offset, item in enumerate(items):
+            if seed is None:
+                values.append(fn(item))
+            else:
+                values.append(fn(item, task_rng(seed, start_index + offset)))
+    finally:
+        set_registry(parent)
+    snapshot = to_snapshot(registry) if obs_enabled else None
+    return values, snapshot
+
+
+class ParallelExecutor:
+    """Chunked, deterministic ``map`` over forked worker processes.
+
+    ``jobs`` is the worker count (after :func:`resolve_jobs`);
+    ``chunk_size`` tasks are dispatched per worker round-trip. The
+    default ``chunk_size=1`` maximizes load balance and makes the
+    metric fold order exactly the task order; raise it when per-task
+    work is tiny relative to queue overhead.
+    """
+
+    def __init__(self, jobs: int | None = 1, chunk_size: int = 1) -> None:
+        self.jobs = resolve_jobs(jobs)
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = int(chunk_size)
+
+    # -- public API --------------------------------------------------------
+    def map(self, fn, items, seed: int | None = None,
+            merge_obs: bool = True) -> list:
+        """Apply ``fn`` to every item; results in item order.
+
+        With ``seed`` set, ``fn`` is called as ``fn(item, rng)`` where
+        ``rng`` is :func:`task_rng`'s generator for the task's global
+        index; without it, as ``fn(item)``. Worker-side metric
+        snapshots are merged into the parent registry in chunk order
+        unless ``merge_obs=False``. Exceptions in any task propagate
+        (wrapped with the worker traceback when forked).
+        """
+        items = list(items)
+        if not items:
+            return []
+        registry = get_registry()
+        obs_enabled = bool(registry.enabled) and merge_obs
+        chunks = [
+            items[i:i + self.chunk_size]
+            for i in range(0, len(items), self.chunk_size)
+        ]
+        workers = min(self.jobs, len(chunks))
+        if workers <= 1 or not fork_available():
+            outcomes = [
+                _run_chunk(fn, chunk, i * self.chunk_size, seed, obs_enabled)
+                for i, chunk in enumerate(chunks)
+            ]
+        else:
+            outcomes = self._map_forked(fn, chunks, seed, obs_enabled,
+                                        workers)
+        results: list = []
+        for values, snapshot in outcomes:
+            results.extend(values)
+            if snapshot is not None:
+                registry.merge(snapshot)
+        return results
+
+    # -- forked pool -------------------------------------------------------
+    def _map_forked(self, fn, chunks, seed, obs_enabled, workers) -> list:
+        ctx = mp.get_context("fork")
+        task_queue = ctx.SimpleQueue()
+        result_queue = ctx.SimpleQueue()
+        chunk_size = self.chunk_size
+
+        def worker() -> None:
+            while True:
+                chunk_index = task_queue.get()
+                if chunk_index is None:
+                    return
+                try:
+                    values, snapshot = _run_chunk(
+                        fn, chunks[chunk_index], chunk_index * chunk_size,
+                        seed, obs_enabled,
+                    )
+                    result_queue.put((chunk_index, "ok", (values, snapshot)))
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    result_queue.put(
+                        (chunk_index, "error",
+                         (repr(exc), traceback.format_exc()))
+                    )
+
+        procs = [ctx.Process(target=worker, daemon=True)
+                 for _ in range(workers)]
+        outcomes: list = [None] * len(chunks)
+        try:
+            for index in range(len(chunks)):
+                task_queue.put(index)
+            for _ in range(workers):
+                task_queue.put(None)
+            for proc in procs:
+                proc.start()
+            for _ in range(len(chunks)):
+                chunk_index, status, payload = result_queue.get()
+                if status == "error":
+                    message, worker_tb = payload
+                    raise RuntimeError(
+                        f"parallel task chunk {chunk_index} failed: "
+                        f"{message}\n--- worker traceback ---\n{worker_tb}"
+                    )
+                outcomes[chunk_index] = payload
+            for proc in procs:
+                proc.join()
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join()
+        return outcomes
+
+
+def parallel_map(fn, items, jobs: int | None = 1, chunk_size: int = 1,
+                 seed: int | None = None, merge_obs: bool = True) -> list:
+    """One-shot convenience wrapper around :class:`ParallelExecutor`."""
+    executor = ParallelExecutor(jobs=jobs, chunk_size=chunk_size)
+    return executor.map(fn, items, seed=seed, merge_obs=merge_obs)

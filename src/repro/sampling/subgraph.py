@@ -81,6 +81,10 @@ class SampledSubgraph:
     #: Total neighbor draws performed by the sampler (cost-model input).
     num_sampled_edges: int = 0
     extras: dict = field(default_factory=dict)
+    #: Memoized ``np.unique(input_nodes)`` (see :meth:`unique_input_nodes`).
+    _unique_input_cache: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_layers(self) -> int:
@@ -93,6 +97,20 @@ class SampledSubgraph:
         if not self.layers:
             return self.seeds
         return self.layers[-1].src_global
+
+    def unique_input_nodes(self) -> np.ndarray:
+        """Sorted unique ``input_nodes``, computed once and cached.
+
+        The match/reorder/cache paths all need the sorted-unique view of
+        the same frontier; caching it here means the ``np.unique`` pass
+        runs once per subgraph instead of once per consumer. Callers must
+        not mutate the returned array.
+        """
+        if self._unique_input_cache is None:
+            self._unique_input_cache = np.unique(
+                np.asarray(self.input_nodes, dtype=np.int64)
+            )
+        return self._unique_input_cache
 
     @property
     def num_nodes(self) -> int:

@@ -75,6 +75,12 @@ class TransferReport:
 class FeatureLoader(ABC):
     """Per-mini-batch feature-loading strategy."""
 
+    #: Whether state survives :meth:`reset_epoch` (e.g. a warm page
+    #: cache). The epoch driver only runs trainer lanes in forked workers
+    #: when this is False or the run is single-epoch — otherwise the
+    #: parent's loader would miss the state evolved inside the fork.
+    carries_state_across_epochs = False
+
     def __init__(self, store: FeatureStore) -> None:
         self.store = store
 
@@ -197,7 +203,8 @@ class MatchLoader(FeatureLoader):
 
     def _plan(self, subgraph: SampledSubgraph) -> TransferReport:
         report = self._base_report(subgraph)
-        result = self._state.step(subgraph.input_nodes)
+        result = self._state.step(subgraph.input_nodes,
+                                  sorted_wanted=subgraph.unique_input_nodes())
         report.num_reused = result.num_reused
         to_load = result.load_ids
         if self.cache is not None:

@@ -113,6 +113,11 @@ class StorageBackedLoader(FeatureLoader):
     is formed, so overlap reduces SSD traffic at the source.
     """
 
+    #: The page cache stays warm across epochs, so multi-epoch runs must
+    #: keep this loader's lane in the parent process (see the epoch
+    #: driver's jobs handling).
+    carries_state_across_epochs = True
+
     def __init__(
         self,
         store: StorageBackedFeatureStore,
@@ -151,7 +156,9 @@ class StorageBackedLoader(FeatureLoader):
         )
         wanted = subgraph.input_nodes
         if self._state is not None:
-            result = self._state.step(wanted)
+            result = self._state.step(
+                wanted, sorted_wanted=subgraph.unique_input_nodes()
+            )
             report.num_reused = result.num_reused
             to_fetch = result.load_ids
         else:

@@ -192,3 +192,98 @@ class TestDefaultRegistry:
             assert get_registry() is mine
         finally:
             set_registry(before)
+
+
+class TestMerge:
+    """Per-kind semantics of folding a worker snapshot into a registry."""
+
+    @staticmethod
+    def _snapshot(build):
+        from repro.obs.exporters import to_snapshot
+
+        registry = MetricsRegistry()
+        build(registry)
+        return to_snapshot(registry)
+
+    def test_counters_add(self):
+        snap = self._snapshot(
+            lambda r: r.counter("merge_work_total").inc(5)
+        )
+        parent = MetricsRegistry()
+        parent.counter("merge_work_total").inc(2)
+        parent.merge(snap)
+        parent.merge(snap)
+        assert parent.counter("merge_work_total").labels().value == 12.0
+
+    def test_labeled_counters_merge_per_child(self):
+        snap = self._snapshot(
+            lambda r: r.counter("merge_lane_total").labels(lane="a").inc(3)
+        )
+        parent = MetricsRegistry()
+        parent.counter("merge_lane_total").labels(lane="b").inc(1)
+        parent.merge(snap)
+        family = parent.counter("merge_lane_total")
+        assert family.labels(lane="a").value == 3.0
+        assert family.labels(lane="b").value == 1.0
+
+    def test_gauge_last_write_wins(self):
+        snap = self._snapshot(lambda r: r.gauge("merge_depth").set(7))
+        parent = MetricsRegistry()
+        parent.gauge("merge_depth").set(3)
+        parent.merge(snap)
+        assert parent.gauge("merge_depth").labels().value == 7.0
+
+    def test_histogram_buckets_add_noncumulatively(self):
+        def build(registry):
+            hist = registry.histogram("merge_lat", buckets=(1.0, 2.0))
+            for value in (0.5, 1.5, 9.0):
+                hist.observe(value)
+
+        snap = self._snapshot(build)
+        parent = MetricsRegistry()
+        parent.merge(snap)
+        parent.merge(snap)
+        hist = parent.histogram("merge_lat", buckets=(1.0, 2.0)).labels()
+        assert hist.counts == [2, 2, 2]
+        assert hist.count == 6
+        assert hist.sum == pytest.approx(22.0)
+        assert hist.cumulative_counts() == [2, 4, 6]
+
+    def test_histogram_bounds_conflict_raises(self):
+        snap = self._snapshot(
+            lambda r: r.histogram("merge_lat2", buckets=(1.0, 2.0))
+            .observe(0.5)
+        )
+        parent = MetricsRegistry()
+        parent.histogram("merge_lat2", buckets=(5.0, 6.0)).observe(0.1)
+        with pytest.raises(ValueError):
+            parent.merge(snap)
+
+    def test_kind_conflict_raises(self):
+        snap = self._snapshot(lambda r: r.counter("merge_kind").inc())
+        parent = MetricsRegistry()
+        parent.gauge("merge_kind").set(1)
+        with pytest.raises(ValueError):
+            parent.merge(snap)
+
+    def test_disabled_registry_ignores_merge(self):
+        snap = self._snapshot(lambda r: r.counter("merge_noop").inc())
+        parent = MetricsRegistry(enabled=False)
+        parent.merge(snap)
+        assert parent.collect() == []
+
+    def test_merge_roundtrip_equals_direct(self):
+        """Observing in a worker then merging == observing directly."""
+        from repro.obs.exporters import flatten_snapshot, to_snapshot
+
+        def observe(registry):
+            registry.counter("merge_rt_total").inc(4)
+            registry.histogram("merge_rt_s").observe(0.25)
+            registry.gauge("merge_rt_depth").set(2)
+
+        direct = MetricsRegistry()
+        observe(direct)
+        merged = MetricsRegistry()
+        merged.merge(to_snapshot(direct))
+        assert (flatten_snapshot(to_snapshot(merged))
+                == flatten_snapshot(to_snapshot(direct)))
