@@ -78,15 +78,48 @@ class MatchState:
 
     def __init__(self) -> None:
         self._resident = np.empty(0, dtype=np.int64)
+        self._last_load_ids = np.empty(0, dtype=np.int64)
 
     @property
     def resident(self) -> np.ndarray:
         """Currently resident node IDs (sorted unique)."""
         return self._resident
 
+    @property
+    def last_load_ids(self) -> np.ndarray:
+        """The ``LoadNodeID`` set of the most recent :meth:`step` — the
+        rows whose residency is *provisional* until their transfer
+        completes."""
+        return self._last_load_ids
+
     def reset(self) -> None:
         """Forget residency (start of an epoch / device flush)."""
         self._resident = np.empty(0, dtype=np.int64)
+        self._last_load_ids = np.empty(0, dtype=np.int64)
+
+    def invalidate(self, ids: np.ndarray | None = None) -> None:
+        """Remove ``ids`` from the resident set (all of it when ``None``).
+
+        Called after a failed feature load: :meth:`step` optimistically
+        marks the whole batch resident *before* the transfer runs, so a
+        transfer that dies mid-flight leaves rows recorded as resident
+        whose device bytes never arrived. Match must never reuse those —
+        invalidating them forces the next batch to reload them through a
+        (hopefully healthier) IO path.
+        """
+        if ids is None:
+            self.reset()
+            return
+        ids = np.unique(np.asarray(ids, dtype=np.int64))
+        self._resident = np.setdiff1d(self._resident, ids,
+                                      assume_unique=True)
+        self._last_load_ids = np.empty(0, dtype=np.int64)
+
+    def invalidate_pending(self) -> None:
+        """Invalidate the rows the last :meth:`step` promised to load
+        (the failed-transfer fast path: reused rows stay resident, the
+        in-flight rows do not)."""
+        self.invalidate(self._last_load_ids)
 
     def step(self, wanted: np.ndarray,
              sorted_wanted: np.ndarray | None = None) -> MatchResult:
@@ -103,4 +136,5 @@ class MatchState:
         if sorted_wanted is None:
             sorted_wanted = np.sort(wanted)
         self._resident = np.asarray(sorted_wanted, dtype=np.int64)
+        self._last_load_ids = result.load_ids
         return result

@@ -1,0 +1,68 @@
+"""Deterministic fault injection and the resilience machinery it exercises.
+
+The layer has two halves:
+
+* :mod:`repro.faults.plan` — a seedable :class:`FaultPlan` describing
+  per-site fault probabilities and shapes (NVMe read errors and
+  slowdowns, PCIe transfer stalls, worker-process crashes, serving-lane
+  stalls). Decisions are pure functions of ``(seed, site, key)``, so the
+  same plan produces the same fault trace every run.
+* :mod:`repro.faults.retry` — bounded retry with exponential backoff +
+  jitter in *modeled* time. The storage scheduler and the feature
+  loaders route faultable operations through
+  :func:`~repro.faults.retry.call_with_faults`; the parallel executor
+  detects crashed workers and reassigns their chunks; the serving
+  admission controller sheds load when deadline drops spike.
+
+Activate a plan with :func:`set_fault_plan` or scope one with
+:func:`fault_scope`; the default plan is disabled and costs one
+attribute read per site check. The conformance harness under
+``tests/conformance/`` holds the whole stack to its contract: a seeded
+epoch with faults injected *and fully retried* is bit-identical (model
+parameters and losses) to the fault-free run, and its timeline still
+reconciles — retries appear as explicit spans, they never corrupt state.
+"""
+
+from repro.errors import (
+    FaultError,
+    ParallelTaskError,
+    StorageReadError,
+    TransferStallError,
+    WorkerCrashError,
+)
+from repro.faults.plan import (
+    KNOWN_SITES,
+    NO_FAULTS,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    fault_scope,
+    get_fault_plan,
+    set_fault_plan,
+)
+from repro.faults.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    RetryStats,
+    call_with_faults,
+)
+
+__all__ = [
+    "KNOWN_SITES",
+    "NO_FAULTS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_scope",
+    "get_fault_plan",
+    "set_fault_plan",
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+    "RetryStats",
+    "call_with_faults",
+    "FaultError",
+    "ParallelTaskError",
+    "StorageReadError",
+    "TransferStallError",
+    "WorkerCrashError",
+]

@@ -1,0 +1,149 @@
+"""Bounded retry with exponential backoff + jitter (modeled time).
+
+The resilience counterpart of :mod:`repro.faults.plan`: where the plan
+decides an operation fails, :func:`call_with_faults` absorbs the failure
+by retrying it — each retry paying a *modeled* backoff delay (this is a
+simulation; nothing sleeps) that flows into the caller's IO accounting
+and shows up as an explicit ``retry`` span in the epoch timeline.
+
+The schedule contract the property tests pin:
+
+* delays are **monotone non-decreasing** across attempts;
+* each delay stays within ``jitter_fraction`` of its nominal value
+  ``min(base * multiplier**k, max_delay)``;
+* total attempts never exceed ``max_attempts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+from repro.faults.plan import get_fault_plan
+from repro.obs import get_registry
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shape of one site's retry budget and backoff curve."""
+
+    #: Total tries including the first (>= 1); 1 disables retries.
+    max_attempts: int = 4
+    #: Modeled delay before the first retry.
+    base_delay_s: float = 1e-4
+    #: Geometric growth per retry.
+    multiplier: float = 2.0
+    #: Ceiling on any single delay.
+    max_delay_s: float = 0.1
+    #: Each delay is drawn within +/- this fraction of nominal.
+    jitter_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1 (backoff, not decay)")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+
+    def nominal_delay(self, retry_index: int) -> float:
+        """The un-jittered delay before retry ``retry_index`` (0-based)."""
+        if retry_index < 0:
+            raise ValueError("retry_index must be >= 0")
+        return min(self.base_delay_s * self.multiplier ** retry_index,
+                   self.max_delay_s)
+
+    def schedule(self, rng=None) -> list:
+        """The full backoff schedule (one delay per possible retry).
+
+        Jitter draws come from ``rng`` when given (deterministic retries
+        need a seeded generator); without one the schedule is nominal.
+        Monotonicity is enforced by construction: a jittered delay never
+        drops below its predecessor.
+        """
+        delays: list = []
+        previous = 0.0
+        for k in range(self.max_attempts - 1):
+            nominal = self.nominal_delay(k)
+            delay = nominal
+            if rng is not None and self.jitter_fraction > 0:
+                offset = (2.0 * float(rng.random()) - 1.0)
+                delay = nominal * (1.0 + self.jitter_fraction * offset)
+            delay = max(delay, previous)
+            delays.append(delay)
+            previous = delay
+        return delays
+
+
+#: Defaults used by the storage scheduler and the feature loaders.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass
+class RetryStats:
+    """What one resilient call cost."""
+
+    attempts: int = 1
+    num_retries: int = 0
+    #: Modeled seconds spent backing off between attempts.
+    delay_s: float = 0.0
+
+
+def call_with_faults(fn, *, site: str, policy: RetryPolicy | None = None,
+                     exc_factory=None, key: int | None = None,
+                     plan=None):
+    """Run ``fn`` under the active fault plan with bounded retries.
+
+    Returns ``(result, stats)``. The plan decides up front how many
+    consecutive attempts the operation fails
+    (:meth:`~repro.faults.plan.FaultPlan.failures_planned`); each failed
+    attempt records a fault event and pays one backoff delay. When the
+    planned failures exceed the retry budget the operation fails for
+    real: ``exc_factory(attempts)`` (default :class:`FaultError`) is
+    raised and ``fn`` never runs — there is no partial result to leak.
+
+    With the plan disabled this is one branch and a direct call.
+    """
+    plan = plan if plan is not None else get_fault_plan()
+    policy = policy or DEFAULT_RETRY_POLICY
+    stats = RetryStats()
+    if not plan.enabled or site not in plan.sites:
+        return fn(), stats
+    if key is None:
+        key = plan.next_key(site)
+    planned = plan.failures_planned(site, key)
+    if planned == 0:
+        return fn(), stats
+    schedule = policy.schedule(rng=plan.jitter_rng(site, key))
+    registry = get_registry()
+    for attempt in range(planned):
+        plan.record(site, key, attempt, "fail")
+        if attempt + 1 >= policy.max_attempts:
+            # Retry budget exhausted with failures still planned.
+            stats.attempts = attempt + 1
+            if registry.enabled:
+                registry.counter(
+                    "repro_faults_exhausted_total",
+                    "Operations abandoned after the retry budget ran out",
+                ).labels(site=site).inc()
+            if exc_factory is None:
+                raise FaultError(
+                    f"fault site {site!r} (op {key}) still failing after "
+                    f"{attempt + 1} attempt(s)"
+                )
+            raise exc_factory(attempt + 1)
+        stats.delay_s += schedule[attempt]
+        stats.num_retries += 1
+    stats.attempts = stats.num_retries + 1
+    if registry.enabled and stats.num_retries:
+        registry.counter(
+            "repro_faults_retries_total",
+            "Retries absorbed by the resilience layer",
+        ).labels(site=site).inc(stats.num_retries)
+        registry.counter(
+            "repro_faults_retry_delay_seconds_total",
+            "Modeled seconds spent in retry backoff",
+        ).labels(site=site).inc(stats.delay_s)
+    return fn(), stats

@@ -180,8 +180,10 @@ class EpochReport:
                 duration=entry["dur"],
                 lane=entry["lane"],
                 category=entry["cat"],
+                depth=entry.get("depth", 0),
                 args={key: value for key, value in entry.items()
-                      if key not in ("name", "start", "dur", "lane", "cat")},
+                      if key not in ("name", "start", "dur", "lane", "cat",
+                                     "depth")},
             )
             for entry in self.extras.get("timeline", [])
         ]
@@ -229,6 +231,60 @@ def _chunk(batches: list, num_chunks: int) -> list:
 
 #: Phase order of one iteration's spans within a timeline lane.
 PHASE_SPAN_ORDER = ("sample", "memory_io", "compute")
+
+
+def _inject_retry_spans(spans: list, per_trainer_retries: list) -> None:
+    """Overlay ``cat="retry"`` child spans on the memory-IO intervals
+    whose loads were retried.
+
+    The retry backoff is already *inside* the memory-IO duration (the
+    transfer report folds it into ``modeled_time``), so the retry span is
+    drawn nested at the tail of its parent interval and never extends the
+    timeline — reconciliation between the trace extent and the modeled
+    epoch time is preserved for every layout. Per-trainer lanes
+    (``gpuN``) use that lane's retry seconds; aggregated stage lanes
+    (e.g. the out-of-core ``nvme`` lane, whose duration is the max across
+    lanes) use the max retry seconds of the round.
+    """
+    if not any(delay > 0 for lane in per_trainer_retries
+               for _, delay in lane):
+        return
+
+    def round_retries(lane_name: str, batch: int):
+        if lane_name.startswith("gpu"):
+            try:
+                lane_index = int(lane_name[3:])
+            except ValueError:
+                return 0, 0.0
+            lane = (per_trainer_retries[lane_index]
+                    if lane_index < len(per_trainer_retries) else [])
+            return lane[batch] if batch < len(lane) else (0, 0.0)
+        count, delay = 0, 0.0
+        for lane in per_trainer_retries:
+            if batch < len(lane):
+                count += lane[batch][0]
+                delay = max(delay, lane[batch][1])
+        return count, delay
+
+    overlays = []
+    for span in spans:
+        if span["cat"] != "memory_io":
+            continue
+        count, delay = round_retries(span["lane"], span.get("batch", -1))
+        if count <= 0 or delay <= 0:
+            continue
+        duration = min(delay, span["dur"])
+        overlays.append({
+            "lane": span["lane"],
+            "name": f"retry[{span.get('batch', 0)}]",
+            "cat": "retry",
+            "start": span["start"] + span["dur"] - duration,
+            "dur": duration,
+            "batch": span.get("batch", 0),
+            "retries": count,
+            "depth": 1,
+        })
+    spans.extend(overlays)
 
 
 def _consecutive_match(matrix, order) -> float:
@@ -413,10 +469,12 @@ class Framework:
             lane_records = lane_executor.map(lane_task, range(len(chunks)))
 
             per_trainer_iters: list = []  # per trainer: (sample, io, comp)
+            per_trainer_retries: list = []  # per trainer: (count, seconds)
             for t, records in enumerate(lane_records):
                 chunk = chunks[t]
                 subgraphs = lane_subgraphs[t]
                 iters = []
+                lane_retries = []
                 for rec in records:
                     position = rec["position"]
                     sg = subgraphs[position]
@@ -446,6 +504,10 @@ class Framework:
                         else idmap_total + sg.idmap_report
                     )
                     iters.append((sample_t, io_t, comp.total_time))
+                    lane_retries.append((
+                        getattr(report, "num_retries", 0),
+                        getattr(report, "retry_delay_s", 0.0),
+                    ))
                     while len(iteration_log) <= t:
                         iteration_log.append([])
                     iteration_log[t].append(
@@ -468,10 +530,12 @@ class Framework:
                         memory_peak = usage["total"]
                         memory_detail = usage
                 per_trainer_iters.append(iters)
+                per_trainer_retries.append(lane_retries)
 
             epoch_seconds, epoch_spans = self._epoch_timeline(
                 per_trainer_iters, param_bytes, trainers, config
             )
+            _inject_retry_spans(epoch_spans, per_trainer_retries)
             for span in epoch_spans:
                 span["start"] += epoch_time
             timeline.extend(epoch_spans)
@@ -482,6 +546,15 @@ class Framework:
             phases.allreduce += epoch_allreduce
             if epoch_allreduce > 0:
                 obs_phase["allreduce"].observe(epoch_allreduce)
+        extras = {"iterations": iteration_log,
+                  "num_trainers": trainers,
+                  "timeline": timeline}
+        if model is not None:
+            # Snapshot the trained parameters so conformance tests can
+            # assert bit-identical model state across configurations.
+            extras["final_params"] = [
+                param.data.copy() for param in model.parameters()
+            ]
         return EpochReport(
             framework=self.name,
             dataset=dataset.name,
@@ -496,9 +569,7 @@ class Framework:
             losses=losses,
             memory_peak_bytes=memory_peak,
             memory_detail=memory_detail,
-            extras={"iterations": iteration_log,
-                    "num_trainers": trainers,
-                    "timeline": timeline},
+            extras=extras,
         )
 
     # -- helpers ---------------------------------------------------------------

@@ -30,6 +30,8 @@ SPAN_COLORS = {
     "memory_io": "thread_state_iowait",
     "compute": "thread_state_running",
     "allreduce": "thread_state_sleeping",
+    "retry": "bad",
+    "fault_stall": "terrible",
 }
 
 

@@ -2,10 +2,15 @@
 
 See :mod:`repro.parallel.executor` for the determinism contract: job
 count changes wall-clock only, never results, random streams, or merged
-metrics.
+metrics. The supervised pool also survives worker loss: crashed workers
+(real or injected via the ``worker_crash`` fault site) are replaced and
+their chunks reassigned, bit-identically, up to a per-chunk crash
+budget.
 """
 
+from repro.errors import ParallelTaskError, WorkerCrashError
 from repro.parallel.executor import (
+    CRASH_EXIT_CODE,
     ParallelExecutor,
     fork_available,
     parallel_map,
@@ -14,7 +19,10 @@ from repro.parallel.executor import (
 )
 
 __all__ = [
+    "CRASH_EXIT_CODE",
     "ParallelExecutor",
+    "ParallelTaskError",
+    "WorkerCrashError",
     "fork_available",
     "parallel_map",
     "resolve_jobs",

@@ -32,13 +32,24 @@ chunk of work.
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.connection as mp_connection
 import os
 import traceback
 
 import numpy as np
 
+from repro.errors import ParallelTaskError, WorkerCrashError
+from repro.faults import get_fault_plan
 from repro.obs.exporters import to_snapshot
 from repro.obs.registry import MetricsRegistry, get_registry, set_registry
+
+#: Exit code an injected worker crash dies with (keeps real segfaults,
+#: which report negative signal codes, distinguishable in logs).
+CRASH_EXIT_CODE = 73
+
+#: How often (seconds) the supervisor checks worker liveness while
+#: waiting for results.
+_LIVENESS_POLL_S = 0.05
 
 
 def fork_available() -> bool:
@@ -69,7 +80,10 @@ def _run_chunk(fn, items, start_index, seed, obs_enabled):
     """Run one chunk under a fresh registry; return (values, snapshot).
 
     Both the serial path and the forked workers funnel through this, so
-    the metric-folding structure is identical in both modes.
+    the metric-folding structure is identical in both modes — and so is
+    the failure contract: any task exception surfaces as a
+    :class:`~repro.errors.ParallelTaskError` carrying the global task
+    index and the map seed.
     """
     parent = get_registry()
     registry = MetricsRegistry(enabled=obs_enabled)
@@ -77,10 +91,17 @@ def _run_chunk(fn, items, start_index, seed, obs_enabled):
     try:
         values = []
         for offset, item in enumerate(items):
-            if seed is None:
-                values.append(fn(item))
-            else:
-                values.append(fn(item, task_rng(seed, start_index + offset)))
+            task_index = start_index + offset
+            try:
+                if seed is None:
+                    values.append(fn(item))
+                else:
+                    values.append(fn(item, task_rng(seed, task_index)))
+            except ParallelTaskError:
+                raise
+            except Exception as exc:
+                raise ParallelTaskError(task_index, seed,
+                                        repr(exc)) from exc
     finally:
         set_registry(parent)
     snapshot = to_snapshot(registry) if obs_enabled else None
@@ -97,11 +118,17 @@ class ParallelExecutor:
     work is tiny relative to queue overhead.
     """
 
-    def __init__(self, jobs: int | None = 1, chunk_size: int = 1) -> None:
+    def __init__(self, jobs: int | None = 1, chunk_size: int = 1,
+                 max_crashes: int = 2) -> None:
         self.jobs = resolve_jobs(jobs)
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if max_crashes < 1:
+            raise ValueError("max_crashes must be >= 1")
         self.chunk_size = int(chunk_size)
+        #: Times one chunk may lose its worker before
+        #: :class:`~repro.errors.WorkerCrashError` is raised.
+        self.max_crashes = int(max_crashes)
 
     # -- public API --------------------------------------------------------
     def map(self, fn, items, seed: int | None = None,
@@ -142,59 +169,159 @@ class ParallelExecutor:
 
     # -- forked pool -------------------------------------------------------
     def _map_forked(self, fn, chunks, seed, obs_enabled, workers) -> list:
+        """Supervised worker pool: the parent dispatches one chunk at a
+        time to each worker's private inbox, so it always knows which
+        chunk a worker holds, and each worker returns results on its own
+        pipe. Per-worker pipes (rather than one shared result queue) are
+        what makes the pool crash-safe: ``Connection.send`` has no
+        feeder thread and no cross-process write lock, so a worker that
+        dies mid-chunk (a real segfault/OOM kill, or an injected
+        ``worker_crash`` fault) can never wedge its peers — its death
+        just closes the last write end of its pipe, which the parent
+        sees as ``EOFError``. The lost chunk is reassigned to a fresh
+        replacement worker — up to :attr:`max_crashes` times per chunk,
+        after which :class:`~repro.errors.WorkerCrashError` raises.
+        Chunks are pure functions of ``(chunk_index, seed)``, so a re-run
+        is bit-identical to the run that was lost.
+        """
         ctx = mp.get_context("fork")
-        task_queue = ctx.SimpleQueue()
-        result_queue = ctx.SimpleQueue()
         chunk_size = self.chunk_size
+        fault_plan = get_fault_plan()
 
-        def worker() -> None:
+        def worker_loop(inbox, conn) -> None:
             while True:
-                chunk_index = task_queue.get()
-                if chunk_index is None:
+                message = inbox.get()
+                if message is None:
+                    conn.close()
                     return
+                chunk_index, attempt = message
+                if fault_plan.enabled and fault_plan.should_crash(
+                        "worker_crash", chunk_index, attempt):
+                    # Modeled worker loss: die without flushing anything
+                    # (exactly what a kill -9 / XID error looks like).
+                    os._exit(CRASH_EXIT_CODE)
                 try:
                     values, snapshot = _run_chunk(
                         fn, chunks[chunk_index], chunk_index * chunk_size,
                         seed, obs_enabled,
                     )
-                    result_queue.put((chunk_index, "ok", (values, snapshot)))
+                    conn.send((chunk_index, "ok", (values, snapshot)))
+                except ParallelTaskError as exc:
+                    conn.send((
+                        chunk_index, "error",
+                        (exc.task_index, exc.seed, str(exc.__cause__),
+                         traceback.format_exc()),
+                    ))
                 except BaseException as exc:  # noqa: BLE001 - re-raised
-                    result_queue.put(
-                        (chunk_index, "error",
-                         (repr(exc), traceback.format_exc()))
-                    )
+                    conn.send((
+                        chunk_index, "error",
+                        (chunk_index * chunk_size, seed, repr(exc),
+                         traceback.format_exc()),
+                    ))
 
-        procs = [ctx.Process(target=worker, daemon=True)
-                 for _ in range(workers)]
+        def spawn():
+            inbox = ctx.SimpleQueue()
+            reader, writer = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=worker_loop, args=(inbox, writer),
+                               daemon=True)
+            proc.start()
+            # Close the parent's copy immediately: the worker now holds
+            # the only write end, so worker death == EOF on `reader`,
+            # and later forks cannot inherit a stray write end that
+            # would mask it.
+            writer.close()
+            return {"proc": proc, "inbox": inbox, "reader": reader,
+                    "chunk": None, "attempt": 0}
+
+        pool = [spawn() for _ in range(workers)]
+        pending = list(range(len(chunks) - 1, -1, -1))  # pop() -> in order
+        attempts = [0] * len(chunks)
         outcomes: list = [None] * len(chunks)
+        completed = 0
         try:
-            for index in range(len(chunks)):
-                task_queue.put(index)
-            for _ in range(workers):
-                task_queue.put(None)
-            for proc in procs:
-                proc.start()
-            for _ in range(len(chunks)):
-                chunk_index, status, payload = result_queue.get()
-                if status == "error":
-                    message, worker_tb = payload
-                    raise RuntimeError(
-                        f"parallel task chunk {chunk_index} failed: "
-                        f"{message}\n--- worker traceback ---\n{worker_tb}"
-                    )
-                outcomes[chunk_index] = payload
-            for proc in procs:
-                proc.join()
+            while completed < len(chunks):
+                for state in pool:
+                    if state["chunk"] is None and pending:
+                        index = pending.pop()
+                        state["chunk"] = index
+                        state["attempt"] = attempts[index]
+                        state["inbox"].put((index, attempts[index]))
+                ready = mp_connection.wait(
+                    [state["reader"] for state in pool],
+                    timeout=_LIVENESS_POLL_S)
+                crashed = not ready
+                for state in pool:
+                    if state["reader"] not in ready:
+                        continue
+                    try:
+                        chunk_index, status, payload = state["reader"].recv()
+                    except EOFError:
+                        # Worker died (possibly mid-send); only its own
+                        # pipe is affected. Reap below.
+                        crashed = True
+                        continue
+                    if status == "error":
+                        task_index, task_seed, cause, worker_tb = payload
+                        raise ParallelTaskError(
+                            task_index, task_seed, cause,
+                            worker_traceback=worker_tb)
+                    state["chunk"] = None
+                    if outcomes[chunk_index] is None:
+                        outcomes[chunk_index] = payload
+                        completed += 1
+                if crashed:
+                    pool = self._reap_crashed(pool, pending, attempts,
+                                              fault_plan, spawn)
+            for state in pool:
+                state["inbox"].put(None)
+            for state in pool:
+                state["proc"].join(timeout=5.0)
         finally:
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join()
+            for state in pool:
+                if state["proc"].is_alive():
+                    state["proc"].terminate()
+                    state["proc"].join()
+                if not state["reader"].closed:
+                    state["reader"].close()
         return outcomes
+
+    def _reap_crashed(self, pool, pending, attempts, fault_plan,
+                      spawn) -> list:
+        """Replace dead workers in place; requeue and re-budget their
+        chunks. Replacements take the dead worker's pool slot *before*
+        any budget-exhaustion raise, so the caller's cleanup always sees
+        every process it must terminate."""
+        for slot, state in enumerate(pool):
+            if state["proc"].is_alive():
+                continue
+            state["proc"].join()
+            if not state["reader"].closed:
+                state["reader"].close()
+            pool[slot] = spawn()
+            chunk_index = state["chunk"]
+            if chunk_index is None:
+                continue
+            attempts[chunk_index] += 1
+            if fault_plan.enabled:
+                fault_plan.record("worker_crash", chunk_index,
+                                  state["attempt"], "crash")
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "repro_parallel_worker_crashes_total",
+                    "Worker processes lost and replaced mid-map",
+                ).inc()
+            if attempts[chunk_index] > self.max_crashes:
+                raise WorkerCrashError(chunk_index,
+                                       attempts[chunk_index])
+            pending.append(chunk_index)
+        return pool
 
 
 def parallel_map(fn, items, jobs: int | None = 1, chunk_size: int = 1,
-                 seed: int | None = None, merge_obs: bool = True) -> list:
+                 seed: int | None = None, merge_obs: bool = True,
+                 max_crashes: int = 2) -> list:
     """One-shot convenience wrapper around :class:`ParallelExecutor`."""
-    executor = ParallelExecutor(jobs=jobs, chunk_size=chunk_size)
+    executor = ParallelExecutor(jobs=jobs, chunk_size=chunk_size,
+                                max_crashes=max_crashes)
     return executor.map(fn, items, seed=seed, merge_obs=merge_obs)

@@ -146,11 +146,19 @@ def build_schedule(
 
 @dataclass
 class AdmissionStats:
-    """Counters the admission controller maintains."""
+    """Counters the admission controller maintains.
+
+    ``shed`` (queue full on arrival) and ``dropped`` (deadline already
+    passed at service start) are disjoint exits and reported under
+    distinct metrics; ``degraded_shed`` is the subset of ``shed`` caused
+    by the degraded-mode capacity reduction rather than the queue
+    actually being full.
+    """
 
     admitted: int = 0
     shed: int = 0
     dropped: int = 0
+    degraded_shed: int = 0
 
 
 class RequestQueue:
@@ -162,26 +170,59 @@ class RequestQueue:
     passed when the batcher would take them are dropped (deadline drop) —
     serving a guaranteed-late answer only adds queueing delay for
     everyone behind it.
+
+    **Graceful degradation.** With ``degrade_after_drops > 0``, the
+    queue watches for deadline-drop bursts (a fault-injected GPU stall,
+    a slow storage tier): once that many drops land inside
+    ``degrade_window_s``, the admission capacity shrinks by
+    ``degrade_capacity_factor`` so new arrivals are shed at the door
+    instead of queueing behind work that will blow its deadline anyway.
+    Capacity recovers as soon as the window drains.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, degrade_after_drops: int = 0,
+                 degrade_window_s: float = 0.05,
+                 degrade_capacity_factor: float = 0.5) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if not 0.0 < degrade_capacity_factor <= 1.0:
+            raise ValueError("degrade_capacity_factor must be in (0, 1]")
         self.capacity = int(capacity)
+        self.degrade_after_drops = int(degrade_after_drops)
+        self.degrade_window_s = float(degrade_window_s)
+        self.degrade_capacity_factor = float(degrade_capacity_factor)
         self.stats = AdmissionStats()
         self._in_queue = 0
+        self._recent_drops: list = []
 
     @property
     def depth(self) -> int:
         """Requests currently admitted but not yet in service."""
         return self._in_queue
 
+    def degraded(self, now: float) -> bool:
+        """Whether the recent deadline-drop rate tripped degraded mode."""
+        if self.degrade_after_drops <= 0:
+            return False
+        cutoff = now - self.degrade_window_s
+        self._recent_drops = [t for t in self._recent_drops if t >= cutoff]
+        return len(self._recent_drops) >= self.degrade_after_drops
+
+    def effective_capacity(self, now: float) -> int:
+        """Current admission cap (shrunk while degraded)."""
+        if self.degraded(now):
+            return max(1, int(self.capacity * self.degrade_capacity_factor))
+        return self.capacity
+
     def offer(self, request: InferenceRequest, now: float) -> bool:
         """Admit or shed ``request`` at time ``now``."""
-        if self._in_queue >= self.capacity:
+        cap = self.effective_capacity(now)
+        if self._in_queue >= cap:
             request.outcome = "shed"
             request.completion = now
             self.stats.shed += 1
+            if self._in_queue < self.capacity:
+                self.stats.degraded_shed += 1
             return False
         request.outcome = "queued"
         self.stats.admitted += 1
@@ -196,6 +237,8 @@ class RequestQueue:
             request.outcome = "dropped"
             request.completion = now
             self.stats.dropped += 1
+            if self.degrade_after_drops > 0:
+                self._recent_drops.append(now)
             return False
         request.outcome = "in_service"
         return True

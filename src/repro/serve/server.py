@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import RunConfig
+from repro.faults import get_fault_plan
 from repro.obs import get_registry
 from repro.obs.trace import Tracer
 from repro.serve.batcher import MicroBatcher, select_next_batch
@@ -58,6 +59,13 @@ class ServeConfig:
     slo_s: float = 0.25
     seed: int = 0
     replay_times: tuple | None = None
+    #: Graceful degradation: this many deadline drops inside
+    #: ``degrade_window_s`` shrink the admission capacity by
+    #: ``degrade_capacity_factor`` (shed at the door instead of stalling
+    #: everyone). 0 disables degradation.
+    degrade_after_drops: int = 0
+    degrade_window_s: float = 0.05
+    degrade_capacity_factor: float = 0.5
 
 
 @dataclass
@@ -77,6 +85,9 @@ class ServeReport:
     transfer: object = None
     #: Modeled spans (same dict layout as training timelines).
     timeline: list = field(default_factory=list)
+    #: The admission controller's counters (shed vs deadline-dropped vs
+    #: degraded-mode shed stay distinguishable).
+    admission: object = None
 
     # -- request outcomes ----------------------------------------------------
     @property
@@ -94,6 +105,13 @@ class ServeReport:
     @property
     def num_dropped(self) -> int:
         return sum(1 for r in self.requests if r.outcome == "dropped")
+
+    @property
+    def num_degraded_shed(self) -> int:
+        """Sheds attributable to degraded-mode capacity reduction."""
+        if self.admission is None:
+            return 0
+        return self.admission.degraded_shed
 
     @property
     def shed_rate(self) -> float:
@@ -220,8 +238,14 @@ class ServerSim:
         loop = EventLoop()
         admitted = loop.queue("admitted")
         dispatch = loop.queue("dispatch")
-        admission = RequestQueue(cfg.queue_capacity)
+        admission = RequestQueue(
+            cfg.queue_capacity,
+            degrade_after_drops=cfg.degrade_after_drops,
+            degrade_window_s=cfg.degrade_window_s,
+            degrade_capacity_factor=cfg.degrade_capacity_factor,
+        )
         batcher = MicroBatcher(cfg.max_batch, cfg.batch_window_s)
+        fault_plan = get_fault_plan()
 
         timeline: list = []
         batches: list = []
@@ -248,6 +272,19 @@ class ServerSim:
             "repro_serve_busy_seconds_total",
             "Modeled GPU seconds per serving phase",
         )
+        # Distinct exit counters: shed (admission refused on arrival,
+        # including degraded-mode sheds) vs deadline-dropped (admitted
+        # but stale at service start) must never fold together.
+        obs_shed = registry.counter(
+            "repro_serve_shed_requests_total",
+            "Requests refused by admission control (queue full or "
+            "degraded mode)",
+        ).labels(framework=profile.name)
+        obs_deadline_dropped = registry.counter(
+            "repro_serve_deadline_dropped_total",
+            "Admitted requests dropped because their deadline passed "
+            "before service start",
+        ).labels(framework=profile.name)
 
         def queue_span(request, end, outcome):
             timeline.append({
@@ -266,6 +303,7 @@ class ServerSim:
                     queue_span(request, loop.now, "shed")
                     obs_outcome.labels(framework=profile.name,
                                        outcome="shed").inc()
+                    obs_shed.inc()
 
         def batching():
             while True:
@@ -305,6 +343,7 @@ class ServerSim:
                         queue_span(request, loop.now, "dropped")
                         obs_outcome.labels(framework=profile.name,
                                            outcome="dropped").inc()
+                        obs_deadline_dropped.inc()
                 if not live:
                     continue
                 seeds = np.unique(np.concatenate(
@@ -315,6 +354,26 @@ class ServerSim:
                 transfer_total.merge(transfer)
                 start = loop.now
                 cursor = start
+                stall = 0.0
+                if fault_plan.enabled:
+                    # An injected serving stall (a wedged GPU, a blown
+                    # request deadline upstream) delays this batch's
+                    # whole service; the admission queue's degradation
+                    # logic is what keeps the backlog from melting down.
+                    stall = fault_plan.stall("serve_stall",
+                                             key=batch.batch_id)
+                    if stall > 0:
+                        timeline.append({
+                            "lane": "gpu0",
+                            "name": f"fault_stall[{batch.batch_id}]",
+                            "cat": "fault_stall", "start": cursor,
+                            "dur": stall, "batch": batch.batch_id,
+                        })
+                        cursor += stall
+                        phase_busy["fault_stall"] = (
+                            phase_busy.get("fault_stall", 0.0) + stall)
+                        obs_busy.labels(framework=profile.name,
+                                        phase="fault_stall").inc(stall)
                 for phase, duration in (("sample", times.sample),
                                         ("memory_io", times.memory_io),
                                         ("compute", times.compute)):
@@ -329,7 +388,7 @@ class ServerSim:
                     phase_busy[phase] += duration
                     obs_busy.labels(framework=profile.name,
                                     phase=phase).inc(duration)
-                yield times.total
+                yield times.total + stall
                 batch.service_start = start
                 batch.service_end = loop.now
                 batch.requests = live
@@ -358,6 +417,7 @@ class ServerSim:
             phase_busy=phase_busy,
             transfer=transfer_total,
             timeline=timeline,
+            admission=admission.stats,
         )
 
 

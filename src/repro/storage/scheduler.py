@@ -20,6 +20,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.errors import StorageReadError
+from repro.faults import call_with_faults, get_fault_plan
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.obs import get_registry
 from repro.sim.events import EventLoop
 from repro.storage.cache import MISS, PageCache
@@ -38,6 +41,10 @@ class IOPlan:
     ssd_requests: int = 0
     #: Bytes read off the drive (full pages; the read amplification).
     ssd_bytes: int = 0
+    #: Page reads that needed a retry (injected NVMe errors, absorbed).
+    num_retries: int = 0
+    #: Modeled seconds of retry backoff + injected slowdowns.
+    fault_delay_s: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -50,12 +57,15 @@ class IOScheduler:
     """Routes a mini-batch's row requests through cache and drive."""
 
     def __init__(self, page_store: PageStore, cache: PageCache,
-                 max_coalesce: int = 8) -> None:
+                 max_coalesce: int = 8,
+                 retry_policy: RetryPolicy | None = None) -> None:
         if max_coalesce < 1:
             raise ValueError("max_coalesce must be >= 1")
         self.page_store = page_store
         self.cache = cache
         self.max_coalesce = int(max_coalesce)
+        #: Backoff budget for faulted page reads (``storage_read`` site).
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
 
     def coalesced_requests(self, miss_pages: np.ndarray) -> int:
         """NVMe commands covering ``miss_pages`` (sorted unique): each run
@@ -97,13 +107,33 @@ class IOScheduler:
                     )
                     self.cache.update(pid, value)
                 frames[pid] = value
+        fault_plan = get_fault_plan()
+        num_retries = 0
+        fault_delay = 0.0
         for pid in miss_list:
+            # A faulted read retries with backoff; the page only reaches
+            # the cache once a (re)read succeeded, so a genuinely failed
+            # read (budget exhausted -> StorageReadError) leaves neither
+            # a frame nor a placeholder behind.
+            frame, stats = call_with_faults(
+                lambda pid=pid: self.page_store.read_page(
+                    pid, materialize=fetch),
+                site="storage_read",
+                policy=self.retry_policy,
+                key=pid,
+                exc_factory=lambda attempts, pid=pid: StorageReadError(
+                    pid, attempts),
+                plan=fault_plan,
+            )
+            num_retries += stats.num_retries
+            fault_delay += stats.delay_s
             if fetch:
-                frame = self.page_store.read_page(pid)
                 frames[pid] = frame
-            else:
-                frame = self.page_store.read_page(pid, materialize=False)
             self.cache.insert(pid, frame)
+        if fault_plan.enabled and miss_list:
+            # NVMe latency outlier (throttle / GC pause): one draw per
+            # faultable submit, modeled as extra IO seconds.
+            fault_delay += fault_plan.stall("storage_slow")
         misses = np.asarray(miss_list, dtype=np.int64)
         plan = IOPlan(
             num_rows=len(ids),
@@ -112,6 +142,8 @@ class IOScheduler:
             page_misses=len(misses),
             ssd_requests=self.coalesced_requests(misses),
             ssd_bytes=len(misses) * self.page_store.page_bytes,
+            num_retries=num_retries,
+            fault_delay_s=fault_delay,
         )
         self._observe_plan(plan)
         return plan, frames

@@ -23,6 +23,9 @@ import numpy as np
 
 from repro.config import CostModelConfig, DEFAULT_COST_MODEL
 from repro.core.match import MatchState
+from repro.errors import FaultError, TransferStallError
+from repro.faults import call_with_faults, get_fault_plan
+from repro.faults.retry import DEFAULT_RETRY_POLICY
 from repro.gpu.pcie import PCIeLink
 from repro.graph.features import FeatureStore
 from repro.obs import get_registry
@@ -42,6 +45,10 @@ class TransferReport:
     structure_bytes: int = 0
     #: Number of discrete host->device transfers (latency accounting).
     num_transfers: int = 0
+    #: Transfer/read retries absorbed by the resilience layer.
+    num_retries: int = 0
+    #: Modeled seconds of retry backoff + injected stalls (part of IO).
+    retry_delay_s: float = 0.0
 
     @property
     def total_bytes(self) -> int:
@@ -55,6 +62,8 @@ class TransferReport:
         self.feature_bytes += other.feature_bytes
         self.structure_bytes += other.structure_bytes
         self.num_transfers += other.num_transfers
+        self.num_retries += getattr(other, "num_retries", 0)
+        self.retry_delay_s += getattr(other, "retry_delay_s", 0.0)
         return self
 
     def modeled_time(
@@ -65,11 +74,11 @@ class TransferReport:
     ) -> float:
         """Seconds on the host link (gather + DMA) for this report."""
         if self.total_bytes == 0:
-            return 0.0
+            return self.retry_delay_s
         gather = self.feature_bytes / cost.host_gather_bytes_per_s
         bw = link.effective_bandwidth(concurrent_links)
         return (gather + self.num_transfers * link.latency_s
-                + self.total_bytes / bw)
+                + self.total_bytes / bw + self.retry_delay_s)
 
 
 class FeatureLoader(ABC):
@@ -91,10 +100,32 @@ class FeatureLoader(ABC):
         """Decide what to load for ``subgraph`` (byte accounting only).
 
         Template method: the strategy lives in :meth:`_plan`; this
-        wrapper additionally reports the plan's accounting to the
-        metrics registry when observability is enabled.
+        wrapper additionally injects ``pcie_stall`` faults (a stalled
+        host->device transfer is retried with backoff; exhaustion
+        invalidates any provisional residency and raises
+        :class:`~repro.errors.TransferStallError`) and reports the plan's
+        accounting to the metrics registry when observability is enabled.
         """
-        report = self._plan(subgraph)
+        fault_plan = get_fault_plan()
+        if fault_plan.enabled:
+            try:
+                report, stats = call_with_faults(
+                    lambda: self._plan(subgraph),
+                    site="pcie_stall",
+                    policy=DEFAULT_RETRY_POLICY,
+                    exc_factory=lambda attempts: TransferStallError(
+                        f"{type(self).__name__} feature transfer", attempts),
+                    plan=fault_plan,
+                )
+            except FaultError:
+                # Stalled transfer or an unrecovered storage read below
+                # us: residency is unknown either way.
+                self._on_load_failure(subgraph)
+                raise
+            report.num_retries += stats.num_retries
+            report.retry_delay_s += stats.delay_s
+        else:
+            report = self._plan(subgraph)
         registry = get_registry()
         if registry.enabled:
             handles = self._obs_handles(registry)
@@ -109,6 +140,14 @@ class FeatureLoader(ABC):
     @abstractmethod
     def _plan(self, subgraph: SampledSubgraph) -> TransferReport:
         """Strategy hook: the actual per-mini-batch load decision."""
+
+    def _on_load_failure(self, subgraph: SampledSubgraph) -> None:
+        """Hook: a feature load failed for good (retries exhausted).
+
+        Loaders holding residency state must invalidate whatever this
+        batch's transfer would have populated — the device buffer is in
+        an unknown state and must never be reused.
+        """
 
     def _obs_handles(self, registry) -> dict:
         """Per-loader metric handles, cached per registry instance."""
@@ -200,6 +239,11 @@ class MatchLoader(FeatureLoader):
 
     def reset_epoch(self) -> None:
         self._state.reset()
+
+    def _on_load_failure(self, subgraph: SampledSubgraph) -> None:
+        # The failed DMA leaves the device buffer in an unknown state:
+        # drop residency entirely so Match never serves a corrupt row.
+        self._state.invalidate()
 
     def _plan(self, subgraph: SampledSubgraph) -> TransferReport:
         report = self._base_report(subgraph)

@@ -94,7 +94,7 @@ class StorageTransferReport(TransferReport):
             if self.structure_bytes:
                 structure = (self.num_transfers * link.latency_s
                              + self.structure_bytes / bw)
-            return read + structure
+            return read + structure + self.retry_delay_s
         read = self.nvme.read_time(
             self.ssd_requests, self.ssd_bytes,
             queue_depth=self.host_queue_depth,
@@ -102,7 +102,7 @@ class StorageTransferReport(TransferReport):
         gather = self.feature_bytes / cost.host_gather_bytes_per_s
         out = (self.num_transfers * link.latency_s
                + (self.feature_bytes + self.structure_bytes) / bw)
-        return read + gather + out
+        return read + gather + out + self.retry_delay_s
 
 
 class StorageBackedLoader(FeatureLoader):
@@ -144,6 +144,14 @@ class StorageBackedLoader(FeatureLoader):
         if self._state is not None:
             self._state.reset()
 
+    def _on_load_failure(self, subgraph: SampledSubgraph) -> None:
+        # An unrecovered NVMe read or a stalled transfer: Match's step()
+        # already promised this batch's rows as resident, but the bytes
+        # never (fully) arrived — invalidate so no later batch reuses a
+        # row from the failed load.
+        if self._state is not None:
+            self._state.invalidate()
+
     def _plan(self, subgraph: SampledSubgraph) -> StorageTransferReport:
         report = StorageTransferReport(
             num_wanted=subgraph.num_nodes,
@@ -170,6 +178,8 @@ class StorageBackedLoader(FeatureLoader):
         report.ssd_pages = plan.page_misses
         report.ssd_requests = plan.ssd_requests
         report.ssd_bytes = plan.ssd_bytes
+        report.num_retries = plan.num_retries
+        report.retry_delay_s = plan.fault_delay_s
         row_bytes = len(to_fetch) * self.store.bytes_per_node
         if self.access == "direct":
             # Missed pages cross PCIe peer-to-peer; cache hits are already

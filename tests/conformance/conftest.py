@@ -1,0 +1,35 @@
+"""Fixtures for the differential conformance harness.
+
+The harness runs every registered framework through the same seeded
+epoch twice — faults off, then faults on with every failure inside the
+retry budget — so the dataset here is deliberately small (a handful of
+mini-batches) while still exercising real training.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+# tests/ is rootdir-style (no packages); make the shared helpers
+# importable from this subdirectory too.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from helpers import make_spec  # noqa: E402
+from repro.graph.datasets import Dataset  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def conformance_dataset() -> Dataset:
+    """A small, fully deterministic dataset shared by all frameworks."""
+    spec = make_spec(
+        name="conformance",
+        num_nodes=600,
+        avg_degree=6.0,
+        feature_dim=8,
+        num_classes=4,
+        train_fraction=0.3,
+    )
+    return Dataset(spec, seed=11)

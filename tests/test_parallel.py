@@ -17,6 +17,7 @@ from repro.obs.exporters import flatten_snapshot, to_snapshot
 from repro.obs.registry import MetricsRegistry
 from repro.parallel import (
     ParallelExecutor,
+    ParallelTaskError,
     fork_available,
     parallel_map,
     resolve_jobs,
@@ -78,12 +79,31 @@ class TestExecutor:
         with pytest.raises(RuntimeError, match="worker exploded"):
             ParallelExecutor(jobs=2).map(boom, range(6))
 
-    def test_serial_error_is_native(self):
-        def boom(x):
-            raise KeyError("native")
+    @needs_fork
+    def test_worker_error_carries_task_index_and_seed(self):
+        def boom(x, rng):
+            if x == 4:
+                raise ValueError("chunk died")
+            return x
 
-        with pytest.raises(KeyError):
-            ParallelExecutor(jobs=1).map(boom, [1])
+        with pytest.raises(ParallelTaskError, match=r"task 4 \(seed=11\)"):
+            ParallelExecutor(jobs=2).map(boom, range(6), seed=11)
+
+    def test_serial_error_same_type_as_forked(self):
+        """The serial fallback raises the identical typed error, with the
+        failing task index and seed in the message and the original
+        exception chained."""
+        def boom(x, rng):
+            if x == 2:
+                raise KeyError("native")
+            return x
+
+        with pytest.raises(ParallelTaskError, match=r"task 2 \(seed=5\)") \
+                as excinfo:
+            ParallelExecutor(jobs=1).map(boom, range(4), seed=5)
+        assert excinfo.value.task_index == 2
+        assert excinfo.value.seed == 5
+        assert isinstance(excinfo.value.__cause__, KeyError)
 
 
 class TestMetricsMerging:
