@@ -1,0 +1,66 @@
+"""Cluster-tier benches: the shapes multi-node scaling must reproduce.
+
+The cluster tentpole claim: edge-cut-aware partitioning (greedy,
+METIS-style) plus frequency caching of hot remote rows beats random
+placement with no cache on modeled epoch time at every cluster size —
+because owner-compute training keeps each node's sampling frontier
+mostly local, and the residual boundary traffic is what the fabric
+charges for.
+"""
+
+from repro.experiments import ext_cluster
+
+
+def test_strong_scaling_informed_beats_uninformed(run_experiment):
+    result = run_experiment(ext_cluster.run_strong_scaling)
+    rows = {(row[0], row[1]): row for row in result.rows}
+    for nodes in (4, 8, 16):
+        informed = rows[(nodes, "greedy+freq")]
+        uninformed = rows[(nodes, "random+none")]
+        # The informed cluster is faster at every size...
+        assert informed[2] < uninformed[2], nodes
+        # ...because it cuts far fewer edges...
+        assert float(informed[5].rstrip("%")) < 0.5 * float(
+            uninformed[5].rstrip("%")), nodes
+        # ...and the network lane takes a smaller share of the epoch.
+        assert float(informed[7].rstrip("%")) < float(
+            uninformed[7].rstrip("%")), nodes
+        # Both ablations land between the bundle and the floor.
+        assert informed[2] <= rows[(nodes, "greedy+none")][2], nodes
+        assert rows[(nodes, "random+freq")][2] <= uninformed[2], nodes
+
+
+def test_strong_scaling_speedup_grows_with_nodes(run_experiment):
+    result = run_experiment(ext_cluster.run_strong_scaling)
+    speedups = [row[3] for row in result.rows if row[1] == "greedy+freq"]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 2.0  # 16 nodes beat one node clearly
+
+
+def test_weak_scaling_shapes(run_experiment):
+    result = run_experiment(ext_cluster.run_weak_scaling)
+    for nodes in (4, 8, 16):
+        at_size = {row[1]: row for row in result.rows if row[0] == nodes}
+        # Informed beats uninformed on epoch time at constant work/node.
+        assert at_size["greedy+freq"][3] < at_size["random+none"][3]
+    # Efficiency decays as the boundary widens with the cluster.
+    efficiency = [row[4] for row in result.rows
+                  if row[1] == "greedy+freq"]
+    assert efficiency == sorted(efficiency, reverse=True)
+
+
+def test_partitioner_quality(run_experiment):
+    result = run_experiment(ext_cluster.run_partitioners)
+    rows = result.row_dict()
+    greedy, random_, hash_ = rows["greedy"], rows["random"], rows["hash"]
+    # Greedy cuts a fraction of the edges the baselines cut...
+    assert float(greedy[1].rstrip("%")) < 0.5 * float(
+        random_[1].rstrip("%"))
+    # ...within its balance slack...
+    assert greedy[2] <= 1.05 + 1e-9
+    # ...with a smaller halo front and fewer bytes on the wire...
+    assert greedy[3] < random_[3]
+    assert greedy[4] < random_[4]
+    # ...and the fastest modeled epoch of the three.
+    assert greedy[6] < random_[6]
+    assert greedy[6] < hash_[6]

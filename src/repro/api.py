@@ -62,6 +62,7 @@ def run(
     model: str = "gcn",
     spec=None,
     sampler=None,
+    cluster=None,
 ) -> EpochReport:
     """Run one modeled training epoch.
 
@@ -83,12 +84,17 @@ def run(
         ``framework`` is given by name or class.
     sampler:
         Optional pre-built sampler, forwarded to ``run_epoch``.
+    cluster:
+        Optional :class:`~repro.cluster.spec.ClusterSpec`; scales the
+        epoch across simulated machines (``config`` then describes one
+        node).
     """
     if config is None:
         config = RunConfig()
     instance = resolve(framework, spec=spec)
     data = _coerce_dataset(dataset, config.seed)
-    return instance.run_epoch(data, config, model_name=model, sampler=sampler)
+    return instance.run_epoch(data, config, model_name=model,
+                              sampler=sampler, cluster=cluster)
 
 
 def serve(

@@ -7,7 +7,7 @@ exists — the reference time and speedup. Wall-clock numbers vary by
 machine; the work counters are seeded and bit-stable, which is what the
 baseline gate pins (see :mod:`repro.bench.__main__`).
 
-The five kernels cover the per-batch hot path end to end:
+The six kernels cover the per-batch hot path end to end:
 
 * ``match_degree_matrix`` — the Reorder strategy's pairwise overlap
   product (vs the legacy O(n^2) ``np.intersect1d`` loop);
@@ -15,7 +15,9 @@ The five kernels cover the per-batch hot path end to end:
 * ``fused_map_insert`` — the batch-vectorized Algorithm 2 hash-table
   insert (vs the exact per-operation oracle);
 * ``neighbor_sampling`` — k-hop uniform sampling with the fused ID map;
-* ``feature_gather`` — the memory-IO phase's host-side feature copy.
+* ``feature_gather`` — the memory-IO phase's host-side feature copy;
+* ``halo_gather`` — the cluster tier's owner-grouping of a sampled
+  frontier plus the per-peer feature-row gather (:mod:`repro.cluster`).
 """
 
 from __future__ import annotations
@@ -65,6 +67,12 @@ SIZES = {
                   "gathers": 8},
         "large": {"num_nodes": 500_000, "dim": 256, "rows": 100_000,
                   "gathers": 8},
+    },
+    "halo_gather": {
+        "small": {"num_nodes": 50_000, "dim": 64, "parts": 4,
+                  "rows": 20_000, "batches": 8},
+        "large": {"num_nodes": 400_000, "dim": 128, "parts": 16,
+                  "rows": 100_000, "batches": 8},
     },
 }
 
@@ -255,6 +263,46 @@ def bench_feature_gather(size: str, repeats: int, seed: int) -> dict:
     return _record("feature_gather", size, params, times, work)
 
 
+def bench_halo_gather(size: str, repeats: int, seed: int) -> dict:
+    """Owner-grouping plus per-peer feature gather of a halo exchange:
+    the per-batch hot path of :class:`repro.cluster.halo.HaloExchange`."""
+    from repro.cluster.halo import group_by_owner
+
+    params = SIZES["halo_gather"][size]
+    rng = np.random.default_rng(seed)
+    owners = rng.integers(0, params["parts"], size=params["num_nodes"],
+                          dtype=np.int64)
+    features = rng.standard_normal(
+        (params["num_nodes"], params["dim"])
+    ).astype(np.float32)
+    requests = [
+        rng.choice(params["num_nodes"], size=params["rows"], replace=False)
+        for _ in range(params["batches"])
+    ]
+
+    def run():
+        moved = 0
+        for request in requests:
+            grouped, counts = group_by_owner(request, owners,
+                                             params["parts"])
+            offset = 0
+            for count in counts:
+                peer_rows = features[grouped[offset:offset + count]]
+                moved += peer_rows.nbytes
+                offset += count
+        return moved
+
+    times = _time(run, repeats)
+    grouped, counts = group_by_owner(requests[0], owners, params["parts"])
+    work = {
+        "batches": params["batches"],
+        "rows": params["batches"] * params["rows"],
+        "bytes": run(),
+        "counts_checksum": int(np.dot(np.arange(len(counts)), counts)),
+    }
+    return _record("halo_gather", size, params, times, work)
+
+
 #: Kernel name -> callable(size, repeats, seed) in report order.
 KERNELS = {
     "match_degree_matrix": bench_match_degree_matrix,
@@ -262,4 +310,5 @@ KERNELS = {
     "fused_map_insert": bench_fused_map_insert,
     "neighbor_sampling": bench_neighbor_sampling,
     "feature_gather": bench_feature_gather,
+    "halo_gather": bench_halo_gather,
 }

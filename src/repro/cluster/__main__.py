@@ -1,0 +1,238 @@
+"""Cluster-simulation smoke gate from the command line.
+
+Usage::
+
+    python -m repro.cluster                       # print the comparison
+    python -m repro.cluster --write-baseline \\
+        benchmarks/results/cluster_baseline.json  # refresh the baseline
+    python -m repro.cluster --check-baseline \\
+        benchmarks/results/cluster_baseline.json  # the CI smoke gate
+
+Runs a deterministic 4-node mini configuration — every smoke framework
+under the *informed* cluster (greedy edge-cut partitioning + frequency
+remote cache) and under the *uninformed* one (random partitioning, no
+cache) — then:
+
+* verifies every cluster timeline reconciles with its modeled epoch
+  time (lanes including ``network`` end exactly at ``epoch_time``);
+* asserts the informed cluster beats the uninformed one on modeled
+  epoch time for every framework (the tentpole claim of the cluster
+  tier);
+* with ``--check-baseline``, gates the instrumented metrics (epoch
+  seconds, network share, halo hit rate, edge-cut fraction, fabric
+  traffic) against the committed snapshot via
+  :mod:`repro.obs.regress` tolerances.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.cluster.spec import ClusterSpec
+from repro.config import RunConfig
+from repro.obs import instrumented, to_snapshot
+from repro.obs.regress import build_baseline, check, format_violation
+from repro.utils.format import ascii_table
+
+#: Reconciliation tolerance between timeline extent and epoch time.
+RECONCILE_TOL = 1e-6
+
+#: Frameworks the smoke gate drives: the baseline strategy bundle plus
+#: the out-of-core stack (its pipelined timeline exercises the network
+#: spans differently).
+SMOKE_FRAMEWORKS = ("dgl", "fastgl-ooc")
+
+
+def smoke_dataset():
+    """A tiny self-contained dataset for the CI smoke gate (never reads
+    the named dataset registry; mirrors ``repro.obs.regress``)."""
+    from repro.graph.datasets import Dataset, DatasetSpec, PaperScale
+
+    spec = DatasetSpec(
+        name="cluster-smoke",
+        num_nodes=4000,
+        avg_degree=10.0,
+        feature_dim=128,
+        num_classes=8,
+        train_fraction=0.2,
+        paper=PaperScale(300_000, 3_000_000, 1 << 30),
+    )
+    return Dataset(spec, seed=0)
+
+
+def smoke_config() -> RunConfig:
+    # Three epochs so the remote caches see repeat traffic; small batches
+    # so every lane runs several rounds.
+    return RunConfig(batch_size=64, fanouts=(5, 5), num_gpus=2,
+                     num_epochs=3, seed=0)
+
+
+def smoke_specs(num_nodes: int) -> dict:
+    """The two cluster variants the gate compares.
+
+    A 20 Gb/s fabric (vs the 100 Gb/s default) so halo traffic is a
+    visible share of the mini epochs the smoke runs.
+    """
+    fabric = dict(link_bandwidth=2.5e9, nic_bandwidth=2.5e9)
+    return {
+        "greedy+freq": ClusterSpec(num_nodes=num_nodes,
+                                   partitioner="greedy",
+                                   remote_cache="freq", **fabric),
+        "random+none": ClusterSpec(num_nodes=num_nodes,
+                                   partitioner="random",
+                                   remote_cache="none", **fabric),
+    }
+
+
+def _publish_summary(registry, report, variant: str) -> None:
+    """Expose the per-run summary as gauges so the baseline gate diffs
+    epoch/network seconds and the cluster counters directly."""
+    labels = {"framework": report.framework, "variant": variant}
+    cluster = report.extras.get("cluster", {})
+    halo = cluster.get("halo", {})
+    partition = cluster.get("partition", {})
+    for metric, value in (
+        ("repro_cluster_epoch_seconds", report.epoch_time),
+        ("repro_cluster_network_seconds", report.phases.network),
+        ("repro_cluster_halo_hit_rate", halo.get("hit_rate", 0.0)),
+        ("repro_cluster_halo_bytes", halo.get("bytes_moved", 0)),
+        ("repro_cluster_cut_fraction_run",
+         partition.get("cut_fraction", 0.0)),
+    ):
+        registry.gauge(metric, "Cluster smoke summary statistic").labels(
+            **labels).set(float(value))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="Run the deterministic multi-node smoke comparison "
+                    "and gate it against a committed baseline.",
+    )
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="simulated machines (default: %(default)s)")
+    parser.add_argument("--framework", action="append", default=None,
+                        metavar="NAME",
+                        help="framework to run (repeatable; default: "
+                             + ", ".join(SMOKE_FRAMEWORKS) + ")")
+    parser.add_argument("--snapshot", metavar="PATH", default=None,
+                        help="also write the raw metrics snapshot here")
+    parser.add_argument("--check-baseline", metavar="PATH", default=None,
+                        help="gate instrumented cluster metrics against a "
+                             "committed baseline (repro.obs.regress)")
+    parser.add_argument("--write-baseline", metavar="PATH", default=None,
+                        help="write/refresh the baseline from this run")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="default relative tolerance when writing a "
+                             "baseline (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    from repro.frameworks import FRAMEWORKS, available_frameworks
+
+    frameworks = tuple(args.framework or SMOKE_FRAMEWORKS)
+    unknown = [n for n in frameworks if n not in available_frameworks()]
+    if unknown:
+        parser.error(f"unknown framework(s): {unknown}; "
+                     f"available: {list(available_frameworks())}")
+
+    dataset = smoke_dataset()
+    config = smoke_config()
+    specs = smoke_specs(args.nodes)
+
+    reports: dict = {}
+    with instrumented() as registry:
+        for name in frameworks:
+            for variant, spec in specs.items():
+                report = FRAMEWORKS[name]().run_epoch(
+                    dataset, config, model_name="gcn", cluster=spec
+                )
+                reports[(name, variant)] = report
+                _publish_summary(registry, report, variant)
+        snapshot = to_snapshot(registry)
+
+    rows = []
+    for (name, variant), report in reports.items():
+        halo = report.extras["cluster"].get("halo", {})
+        partition = report.extras["cluster"].get("partition", {})
+        rows.append([
+            name, variant,
+            round(report.epoch_time * 1e3, 4),
+            round(report.phases.network * 1e3, 4),
+            f"{partition.get('cut_fraction', 0.0):.1%}",
+            f"{halo.get('hit_rate', 0.0):.1%}",
+            halo.get("bytes_moved", 0),
+        ])
+    print(ascii_table(
+        ["framework", "cluster", "epoch_ms", "network_ms", "cut",
+         "halo_hits", "fabric_bytes"],
+        rows,
+    ))
+
+    failures = 0
+    for (name, variant), report in reports.items():
+        spans = report.timeline()
+        extent = max((span.end for span in spans), default=0.0)
+        delta = abs(extent - report.epoch_time)
+        if delta > RECONCILE_TOL:
+            print(f"{name}/{variant}: TIMELINE MISMATCH: extent "
+                  f"{extent!r} vs epoch_time {report.epoch_time!r}",
+                  file=sys.stderr)
+            failures += 1
+    if not failures:
+        print(f"all {len(reports)} cluster timelines reconcile "
+              f"(tolerance {RECONCILE_TOL:g})")
+
+    for name in frameworks:
+        informed = reports[(name, "greedy+freq")].epoch_time
+        uninformed = reports[(name, "random+none")].epoch_time
+        if informed < uninformed:
+            print(f"{name}: greedy+freq beats random+none "
+                  f"({uninformed / informed:.2f}x)")
+        else:
+            print(f"{name}: REGRESSION: greedy+freq ({informed:.6f}s) "
+                  f"not faster than random+none ({uninformed:.6f}s)",
+                  file=sys.stderr)
+            failures += 1
+
+    if args.snapshot:
+        with open(args.snapshot, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"wrote snapshot: {args.snapshot}")
+
+    if args.write_baseline:
+        baseline = build_baseline(snapshot,
+                                  default_tolerance=args.tolerance)
+        baseline["suite"] = [f"{name}/{variant}" for name in frameworks
+                             for variant in specs]
+        with open(args.write_baseline, "w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote baseline: {args.write_baseline} "
+              f"({len(baseline['metrics'])} metrics)")
+        return 0
+
+    if args.check_baseline:
+        try:
+            with open(args.check_baseline) as handle:
+                baseline = json.load(handle)
+        except FileNotFoundError:
+            print(f"no baseline at {args.check_baseline}; create one with "
+                  "--write-baseline", file=sys.stderr)
+            return 2
+        violations = check(snapshot, baseline)
+        checked = len(baseline.get("metrics", {}))
+        if violations:
+            print(f"{len(violations)} of {checked} cluster metrics "
+                  "regressed:")
+            for violation in violations:
+                print("  " + format_violation(violation))
+            return 1
+        print(f"ok: {checked} cluster metrics within tolerance")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

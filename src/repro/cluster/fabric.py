@@ -1,0 +1,139 @@
+"""Node-to-node network fabric model.
+
+The cluster analogue of :class:`repro.gpu.pcie.PCIeLink`: per-link
+bandwidth and latency with two contention effects —
+
+* **NIC aggregate** — all flows entering (or leaving) one node share
+  that node's NIC, so a node gathering halo features from ``k`` peers
+  at once sees at most ``nic_bandwidth / k`` per flow and never more
+  than ``nic_bandwidth`` in total;
+* **topology** — ``alltoall`` gives every pair the full link bandwidth
+  (a non-blocking switch); ``fat-tree`` divides bandwidth between nodes
+  in *different pods* by the oversubscription factor (the classic 2:1
+  leaf/spine ratio), so partition placement starts to matter.
+
+Gradient allreduce has the two cost shapes the NCCL literature uses:
+**ring** (bandwidth-optimal: ``2*(N-1)/N`` of the payload over the
+slowest link on the ring, ``2*(N-1)`` latency hops) and **tree**
+(latency-optimal: ``2*ceil(log2 N)`` steps each paying one latency and
+one full payload transfer). Ring wins on large payloads, tree on small
+ones — the crossover the cost model reproduces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.spec import ClusterSpec
+
+
+@dataclass(frozen=True)
+class NetworkFabric:
+    """The wiring of one simulated cluster (see module docstring)."""
+
+    num_nodes: int
+    topology: str = "alltoall"
+    link_bandwidth: float = 12.5e9
+    link_latency_s: float = 5e-6
+    nic_bandwidth: float = 12.5e9
+    oversubscription: float = 2.0
+    pod_size: int = 4
+
+    @classmethod
+    def from_spec(cls, spec: ClusterSpec) -> "NetworkFabric":
+        return cls(
+            num_nodes=spec.num_nodes,
+            topology=spec.topology,
+            link_bandwidth=spec.link_bandwidth,
+            link_latency_s=spec.link_latency_s,
+            nic_bandwidth=spec.nic_bandwidth,
+            oversubscription=spec.oversubscription,
+            pod_size=spec.pod_size,
+        )
+
+    # -- link structure ------------------------------------------------------
+    def pod_of(self, node: int) -> int:
+        """The pod (leaf switch) a node hangs off."""
+        return node // self.pod_size
+
+    def pair_bandwidth(self, a: int, b: int) -> float:
+        """Uncontended bandwidth of the ``a``<->``b`` path."""
+        bandwidth = self.link_bandwidth
+        if self.topology == "fat-tree" and self.pod_of(a) != self.pod_of(b):
+            bandwidth = bandwidth / self.oversubscription
+        return bandwidth
+
+    def effective_bandwidth(self, a: int, b: int,
+                            concurrent_flows: int = 1) -> float:
+        """Per-flow bandwidth of the path when the receiving node has
+        ``concurrent_flows`` flows sharing its NIC."""
+        if concurrent_flows < 1:
+            raise ValueError("concurrent_flows must be >= 1")
+        return min(self.pair_bandwidth(a, b),
+                   self.nic_bandwidth / concurrent_flows)
+
+    def transfer_time(self, num_bytes: float, src: int, dst: int,
+                      concurrent_flows: int = 1) -> float:
+        """Seconds to move ``num_bytes`` from ``src`` to ``dst``."""
+        if num_bytes <= 0:
+            return 0.0
+        bandwidth = self.effective_bandwidth(src, dst, concurrent_flows)
+        return self.link_latency_s + num_bytes / bandwidth
+
+    # -- collective costs ----------------------------------------------------
+    def gather_time(self, bytes_by_peer: dict, node: int) -> float:
+        """Seconds for ``node`` to pull the given bytes from each peer,
+        all flows in flight concurrently.
+
+        Fluid max–min model: the NIC reallocates bandwidth as flows
+        drain, so the makespan is the slower of (a) the largest single
+        flow at its path bandwidth — a flow can never beat its own link
+        — and (b) the NIC serialization bound, one latency plus
+        ``total_bytes / nic_bandwidth``. (A fixed ``nic / num_flows``
+        share would penalize skewed traffic — exactly the distribution a
+        good partitioner produces — for bandwidth the small flows never
+        use.)
+        """
+        flows = {peer: b for peer, b in bytes_by_peer.items()
+                 if b > 0 and peer != node}
+        if not flows:
+            return 0.0
+        slowest = max(
+            self.link_latency_s + num_bytes / self.pair_bandwidth(peer, node)
+            for peer, num_bytes in flows.items()
+        )
+        nic_floor = (self.link_latency_s
+                     + sum(flows.values()) / self.nic_bandwidth)
+        return max(slowest, nic_floor)
+
+    def _slowest_ring_bandwidth(self) -> float:
+        """Bandwidth of the slowest hop on the 0..N-1 ring."""
+        worst = float("inf")
+        for i in range(self.num_nodes):
+            j = (i + 1) % self.num_nodes
+            worst = min(worst, self.pair_bandwidth(i, j))
+        return worst
+
+    def allreduce_time(self, num_bytes: float, algo: str = "ring") -> float:
+        """Seconds for one cross-node gradient allreduce of
+        ``num_bytes`` per node."""
+        n = self.num_nodes
+        if n <= 1 or num_bytes <= 0:
+            return 0.0
+        if algo == "ring":
+            bandwidth = min(self._slowest_ring_bandwidth(),
+                            self.nic_bandwidth)
+            moved = 2.0 * (n - 1) / n * num_bytes
+            return 2.0 * (n - 1) * self.link_latency_s + moved / bandwidth
+        if algo == "tree":
+            # Reduce up + broadcast down a binary tree; inter-pod hops
+            # bound the step bandwidth once the tree spans pods.
+            bandwidth = self.link_bandwidth
+            if (self.topology == "fat-tree"
+                    and n > self.pod_size):
+                bandwidth = bandwidth / self.oversubscription
+            bandwidth = min(bandwidth, self.nic_bandwidth)
+            steps = 2 * math.ceil(math.log2(n))
+            return steps * (self.link_latency_s + num_bytes / bandwidth)
+        raise ValueError(f"unknown allreduce algorithm {algo!r}")

@@ -67,6 +67,24 @@ class TransferStallError(FaultError):
         )
 
 
+class NetworkStallError(FaultError):
+    """A node-to-node fabric transfer stalled past its retry budget.
+
+    Models a NIC/link stall (flapping port, congested spine, RDMA
+    timeout) during the halo feature exchange; the requesting node's
+    receive buffers are incomplete, so the exchange must be re-issued.
+    """
+
+    def __init__(self, src: int, dst: int, attempts: int = 1) -> None:
+        self.src = int(src)
+        self.dst = int(dst)
+        self.attempts = int(attempts)
+        super().__init__(
+            f"fabric transfer node{src}->node{dst} stalled and was "
+            f"abandoned after {attempts} attempt(s)"
+        )
+
+
 class WorkerCrashError(FaultError):
     """A parallel worker process died more times than the crash budget.
 

@@ -70,6 +70,12 @@ EXPERIMENTS = {
     "ext_serve": ("repro.experiments.ext_serving", "run_rate_sweep"),
     "ext_serve_window": ("repro.experiments.ext_serving",
                          "run_window_sweep"),
+    "ext_cluster_strong": ("repro.experiments.ext_cluster",
+                           "run_strong_scaling"),
+    "ext_cluster_weak": ("repro.experiments.ext_cluster",
+                         "run_weak_scaling"),
+    "ext_cluster_part": ("repro.experiments.ext_cluster",
+                         "run_partitioners"),
 }
 
 

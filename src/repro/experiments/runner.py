@@ -90,15 +90,18 @@ def epoch_report(
     model: str = "gcn",
     dataset=None,
     sampler=None,
+    cluster=None,
 ) -> EpochReport:
     """Run (and memoize) one epoch.
 
     ``framework`` is a registry name (see
     :func:`repro.frameworks.available_frameworks`), a framework class,
     or an instance. Memoization only applies to the name/class forms
-    with default datasets and samplers; hit/miss counts are visible
-    through :func:`cache_info` and, when observability is on, the
-    ``repro_experiment_report_cache_total`` counter.
+    with default datasets and samplers (``cluster``, a frozen
+    :class:`~repro.cluster.spec.ClusterSpec`, is part of the key);
+    hit/miss counts are visible through :func:`cache_info` and, when
+    observability is on, the ``repro_experiment_report_cache_total``
+    counter.
     """
     cacheable = dataset is None and sampler is None
     if isinstance(framework, str):
@@ -111,7 +114,7 @@ def epoch_report(
         instance = framework
         key_id = None
         cacheable = False
-    key = (key_id, dataset_name, model, config)
+    key = (key_id, dataset_name, model, config, cluster)
     if cacheable and key in _REPORT_CACHE:
         _record_cache_access(hit=True)
         return _REPORT_CACHE[key]
@@ -119,7 +122,7 @@ def epoch_report(
     if dataset is None:
         dataset = get_dataset(dataset_name, seed=config.seed)
     report = instance.run_epoch(dataset, config, model_name=model,
-                                sampler=sampler)
+                                sampler=sampler, cluster=cluster)
     if cacheable:
         _REPORT_CACHE[key] = report
     return report

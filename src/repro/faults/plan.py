@@ -44,6 +44,7 @@ KNOWN_SITES = (
     "pcie_stall",     # PCIe transfer stall / DMA timeout
     "worker_crash",   # worker-process loss (GPU OOM kill, XID, node loss)
     "serve_stall",    # serving-lane stall blowing request deadlines
+    "net_stall",      # node-to-node fabric link stall (NIC/spine congestion)
 )
 
 
@@ -135,6 +136,8 @@ class FaultPlan:
                                       max_failures=max_failures),
             "serve_stall": FaultSpec(probability=probability,
                                      delay_s=delay_s),
+            "net_stall": FaultSpec(probability=probability,
+                                   max_failures=max_failures),
         }
         return cls(seed=seed, sites=sites)
 

@@ -56,6 +56,9 @@ class PhaseTimes:
     #: ID-map share of the sample phase (already included in ``sample``).
     idmap: float = 0.0
     memory_io: float = 0.0
+    #: Cross-node fabric traffic (halo feature exchange + inter-node
+    #: gradient allreduce); 0.0 outside cluster runs.
+    network: float = 0.0
     compute: float = 0.0
     #: Preprocess share of ``compute`` (GNNAdvisor; already included).
     preprocess: float = 0.0
@@ -64,13 +67,15 @@ class PhaseTimes:
     @property
     def serial_total(self) -> float:
         """Sum of the three phases plus gradient sync (no overlap)."""
-        return self.sample + self.memory_io + self.compute + self.allreduce
+        return (self.sample + self.memory_io + self.network + self.compute
+                + self.allreduce)
 
     def fractions(self, detail: bool = False) -> dict:
         """Phase shares of the serial total (the paper's stacked bars).
 
         The default three-way split folds the ID map into ``sample`` and
-        preprocess + allreduce into ``compute`` (the paper's Fig. 1 view).
+        network + preprocess + allreduce into ``compute`` (the paper's
+        Fig. 1 view — single-node runs have no network share to fold).
         ``detail=True`` splits those shares out as disjoint components —
         the stepwise-figure view — so the returned values still sum to
         1.0 in both modes. Each mode returns the same key set whether or
@@ -81,6 +86,7 @@ class PhaseTimes:
                 "sample": self.sample - self.idmap,
                 "idmap": self.idmap,
                 "memory_io": self.memory_io,
+                "network": self.network,
                 "compute": self.compute - self.preprocess,
                 "preprocess": self.preprocess,
                 "allreduce": self.allreduce,
@@ -89,7 +95,7 @@ class PhaseTimes:
             parts = {
                 "sample": self.sample,
                 "memory_io": self.memory_io,
-                "compute": self.compute + self.allreduce,
+                "compute": self.compute + self.network + self.allreduce,
             }
         total = self.serial_total
         if total == 0:
@@ -229,8 +235,35 @@ def _chunk(batches: list, num_chunks: int) -> list:
     return out
 
 
-#: Phase order of one iteration's spans within a timeline lane.
-PHASE_SPAN_ORDER = ("sample", "memory_io", "compute")
+#: Phase order of one iteration's spans within a timeline lane. The
+#: ``network`` slot (halo feature exchange) sits between memory IO and
+#: compute — remote rows must land before the forward pass — and is only
+#: populated by cluster runs.
+PHASE_SPAN_ORDER = ("sample", "memory_io", "network", "compute")
+
+
+@dataclass
+class ClusterNetworkTimes:
+    """Per-round fabric costs a cluster run adds to the epoch layout.
+
+    Built by ``run_epoch`` from the :class:`~repro.cluster.engine.
+    ClusterState`; ``None`` everywhere means "no cluster" and every
+    layout falls back to the single-node math bit-for-bit.
+    """
+
+    #: ``per_lane[lane][r]`` — halo-exchange seconds of lane ``lane``'s
+    #: round-``r`` batch (parallel to ``per_trainer_iters``).
+    per_lane: list
+    #: One NCCL allreduce across the trainers inside a node.
+    intra_sync_s: float
+    #: One inter-node allreduce over the fabric (0.0 at one node).
+    net_sync_s: float
+    num_nodes: int
+
+    def lane_time(self, lane: int, r: int) -> float:
+        if lane >= len(self.per_lane) or r >= len(self.per_lane[lane]):
+            return 0.0
+        return self.per_lane[lane][r]
 
 
 def _inject_retry_spans(spans: list, per_trainer_retries: list) -> None:
@@ -352,6 +385,7 @@ class Framework:
         model_name: str = "gcn",
         sampler: Sampler | None = None,
         jobs: int = 1,
+        cluster=None,
     ) -> EpochReport:
         """Execute one epoch and return its full report.
 
@@ -364,11 +398,28 @@ class Framework:
         report and merged metrics are bit-identical to ``jobs=1``.
         Multi-epoch runs with loaders that carry state across epochs
         (the SSD page caches) fall back to in-process lanes.
+
+        ``cluster`` (a :class:`~repro.cluster.spec.ClusterSpec`) scales
+        the run across simulated machines: ``config.num_gpus`` describes
+        *one* node, global trainer lanes multiply by ``num_nodes``, each
+        batch pays a halo feature exchange for remote input rows, and
+        the gradient sync becomes hierarchical (intra-node NCCL + an
+        inter-node fabric allreduce in the new ``network`` phase). A
+        one-node cluster is bit-identical to ``cluster=None``.
         """
         cost = config.cost
         rngs = RngFactory(config.seed)
         link = link_from_cost(self.spec, cost)
-        trainers = self.num_trainer_gpus(config)
+        per_node_trainers = self.num_trainer_gpus(config)
+        cluster_state = None
+        if cluster is not None and cluster.num_nodes >= 1:
+            from repro.cluster.engine import ClusterState
+
+            cluster_state = ClusterState(dataset, config, cluster,
+                                         per_node_trainers)
+        trainers = per_node_trainers * (
+            cluster_state.num_nodes if cluster_state is not None else 1
+        )
         profile = model_profile(
             model_name, dataset.feature_dim, dataset.num_classes,
             hidden_dim=config.hidden_dim, num_layers=config.num_layers,
@@ -426,8 +477,8 @@ class Framework:
         )
         obs_phase = {
             phase: phase_hist.labels(framework=self.name, phase=phase)
-            for phase in ("sample", "idmap", "memory_io", "compute",
-                          "allreduce")
+            for phase in ("sample", "idmap", "memory_io", "network",
+                          "compute", "allreduce")
         }
         obs_batches = registry.counter(
             "repro_batches_total", "Mini-batches processed",
@@ -444,8 +495,15 @@ class Framework:
 
         for epoch in range(max(1, config.num_epochs)):
             batches = plan.batches(rngs.child(f"epoch-shuffle:{epoch}"))
-            chunks = _chunk(batches, trainers)
-            num_batches += len(batches)
+            if cluster_state is not None:
+                # Owner-compute placement: each node trains the seeds
+                # its partition owns (identical to _chunk at one node).
+                chunks = cluster_state.place_batches(batches,
+                                                     config.batch_size)
+                num_batches += sum(len(c) for c in chunks)
+            else:
+                chunks = _chunk(batches, trainers)
+                num_batches += len(batches)
             # Sample every lane in the parent: the shared sampler RNG's
             # draw order is part of the results and must not depend on
             # the job count.
@@ -455,10 +513,13 @@ class Framework:
             ]
 
             def lane_task(t):
+                # PCIe contention is per node: only the trainers sharing
+                # one host link compete (== all trainers without a
+                # cluster).
                 return self._run_lane(
                     lane_subgraphs[t], loaders[t], sampler, config, cost,
                     link, cost_model, profile, dataset, param_bytes,
-                    trainers,
+                    per_node_trainers,
                 )
 
             # Lane records come back in lane order; worker-side metric
@@ -470,11 +531,13 @@ class Framework:
 
             per_trainer_iters: list = []  # per trainer: (sample, io, comp)
             per_trainer_retries: list = []  # per trainer: (count, seconds)
+            per_trainer_net: list = []  # per trainer: halo seconds per round
             for t, records in enumerate(lane_records):
                 chunk = chunks[t]
                 subgraphs = lane_subgraphs[t]
                 iters = []
                 lane_retries = []
+                lane_net = []
                 for rec in records:
                     position = rec["position"]
                     sg = subgraphs[position]
@@ -484,15 +547,25 @@ class Framework:
                     io_t = rec["io_t"]
                     report = rec["report"]
                     comp = rec["comp"]
+                    # Halo exchange runs in the parent, lane-major: the
+                    # per-node remote caches must evolve in one
+                    # deterministic order regardless of the job count.
+                    net_t = 0.0
+                    if cluster_state is not None:
+                        net_t = cluster_state.batch_network_time(t, sg)
+                    lane_net.append(net_t)
 
                     phases.sample += sample_t
                     phases.idmap += idmap_t
                     phases.memory_io += io_t
+                    phases.network += net_t
                     phases.compute += comp.total_time
                     phases.preprocess += comp.preprocess_time
                     obs_phase["sample"].observe(sample_t)
                     obs_phase["idmap"].observe(idmap_t)
                     obs_phase["memory_io"].observe(io_t)
+                    if net_t > 0:
+                        obs_phase["network"].observe(net_t)
                     obs_phase["compute"].observe(comp.total_time)
                     obs_batches.inc()
                     if transfer_total is None:
@@ -531,9 +604,21 @@ class Framework:
                         memory_detail = usage
                 per_trainer_iters.append(iters)
                 per_trainer_retries.append(lane_retries)
+                per_trainer_net.append(lane_net)
 
+            network = None
+            if cluster_state is not None:
+                network = ClusterNetworkTimes(
+                    per_lane=per_trainer_net,
+                    intra_sync_s=cluster_state.intra_sync_time(
+                        param_bytes, cost
+                    ),
+                    net_sync_s=cluster_state.net_sync_time(param_bytes),
+                    num_nodes=cluster_state.num_nodes,
+                )
             epoch_seconds, epoch_spans = self._epoch_timeline(
-                per_trainer_iters, param_bytes, trainers, config
+                per_trainer_iters, param_bytes, trainers, config,
+                network=network,
             )
             _inject_retry_spans(epoch_spans, per_trainer_retries)
             for span in epoch_spans:
@@ -541,14 +626,22 @@ class Framework:
             timeline.extend(epoch_spans)
             epoch_time += epoch_seconds
             epoch_allreduce = self._allreduce_total(
-                per_trainer_iters, param_bytes, trainers, config
+                per_trainer_iters, param_bytes, trainers, config,
+                network=network,
             )
             phases.allreduce += epoch_allreduce
             if epoch_allreduce > 0:
                 obs_phase["allreduce"].observe(epoch_allreduce)
+            if network is not None and network.net_sync_s > 0:
+                rounds = max(len(iters) for iters in per_trainer_iters)
+                net_sync_total = rounds * network.net_sync_s
+                phases.network += net_sync_total
+                obs_phase["network"].observe(net_sync_total)
         extras = {"iterations": iteration_log,
                   "num_trainers": trainers,
                   "timeline": timeline}
+        if cluster_state is not None:
+            extras["cluster"] = cluster_state.summary()
         if model is not None:
             # Snapshot the trained parameters so conformance tests can
             # assert bit-identical model state across configurations.
@@ -655,24 +748,40 @@ class Framework:
         return max(0.0, io_t)
 
     def _allreduce_total(self, per_trainer_iters, param_bytes, trainers,
-                         config) -> float:
+                         config, network=None) -> float:
+        rounds = max(len(iters) for iters in per_trainer_iters)
+        if network is not None:
+            # Hierarchical sync: only the intra-node NCCL share counts as
+            # ``allreduce``; the inter-node hop is network-phase time.
+            return rounds * network.intra_sync_s
         if trainers <= 1:
             return 0.0
-        rounds = max(len(iters) for iters in per_trainer_iters)
         return rounds * allreduce_time(param_bytes, trainers, config.cost)
 
     def _epoch_time(self, per_trainer_iters, param_bytes, trainers,
-                    config) -> float:
+                    config, network=None) -> float:
         """Modeled epoch wall-clock (the makespan of the epoch timeline)."""
         seconds, _ = self._epoch_timeline(per_trainer_iters, param_bytes,
-                                          trainers, config)
+                                          trainers, config, network=network)
         return seconds
 
+    def _sync_times(self, param_bytes, trainers, config,
+                    network=None) -> tuple:
+        """``(intra_sync, net_sync)`` per lockstep round: the NCCL
+        allreduce every layout charges after each round, plus the
+        inter-node fabric allreduce cluster runs append to it."""
+        if network is not None:
+            return network.intra_sync_s, network.net_sync_s
+        sync = (allreduce_time(param_bytes, trainers, config.cost)
+                if trainers > 1 else 0.0)
+        return sync, 0.0
+
     def _epoch_timeline(self, per_trainer_iters, param_bytes, trainers,
-                        config) -> tuple:
+                        config, network=None) -> tuple:
         """Lockstep data-parallel layout: each round runs one batch per
         trainer; gradient sync joins the round as a collective all lanes
-        attend.
+        attend (intra-node allreduce, then the inter-node hop on cluster
+        runs).
 
         Returns ``(epoch_seconds, spans)`` where each span is a dict with
         ``lane``/``name``/``cat``/``start``/``dur`` keys; every lane's
@@ -680,8 +789,8 @@ class Framework:
         trace reconciles with the modeled epoch time.
         """
         rounds = max(len(iters) for iters in per_trainer_iters)
-        sync = (allreduce_time(param_bytes, trainers, config.cost)
-                if trainers > 1 else 0.0)
+        sync, net_sync = self._sync_times(param_bytes, trainers, config,
+                                          network=network)
         spans: list = []
         total = 0.0
         for r in range(rounds):
@@ -689,8 +798,14 @@ class Framework:
             for lane, iters in enumerate(per_trainer_iters):
                 if r >= len(iters):
                     continue
+                sample_t, io_t, comp_t = iters[r]
+                net_t = (network.lane_time(lane, r)
+                         if network is not None else 0.0)
                 cursor = total
-                for phase, duration in zip(PHASE_SPAN_ORDER, iters[r]):
+                for phase, duration in (("sample", sample_t),
+                                        ("memory_io", io_t),
+                                        ("network", net_t),
+                                        ("compute", comp_t)):
                     if duration > 0:
                         spans.append({
                             "lane": f"gpu{lane}", "name": f"{phase}[{r}]",
@@ -706,7 +821,15 @@ class Framework:
                         "cat": "allreduce", "start": total + round_time,
                         "dur": sync, "batch": r,
                     })
-            total += round_time + sync
+            if net_sync > 0:
+                for lane in range(len(per_trainer_iters)):
+                    spans.append({
+                        "lane": f"gpu{lane}",
+                        "name": f"allreduce_net[{r}]",
+                        "cat": "network", "start": total + round_time + sync,
+                        "dur": net_sync, "batch": r,
+                    })
+            total += round_time + sync + net_sync
         return total, spans
 
     def _workspace_bytes(self, subgraph: SampledSubgraph, profile, dataset,

@@ -19,7 +19,6 @@ from __future__ import annotations
 from repro.config import RunConfig
 from repro.frameworks.base import Framework
 from repro.frameworks.gnnlab import _cache_budget
-from repro.gpu.cluster import allreduce_time
 from repro.graph.datasets import Dataset
 from repro.sampling import BaselineIdMap, FusedIdMap
 from repro.sampling.base import Sampler
@@ -105,30 +104,36 @@ class OutOfCoreFastGLFramework(FastGLFramework):
         return 0
 
     def _epoch_timeline(self, per_trainer_iters, param_bytes, trainers,
-                        config) -> tuple:
+                        config, network=None) -> tuple:
         """Sample -> storage-read -> train pipeline per lockstep round,
         bounded by the prefetch queue depth.
 
         The event simulation records every executed stage interval, so
         the exported timeline shows the actual overlap (one lane per
         pipeline stage) and its last span ends at the pipelined epoch
-        time.
+        time. Cluster runs extend the train stage with the round's halo
+        exchange (features must land before the forward pass) and the
+        inter-node gradient hop; both render as ``network`` spans carved
+        out of the stage interval, so reconciliation is untouched.
         """
         rounds = max(len(iters) for iters in per_trainer_iters)
-        sync = (allreduce_time(param_bytes, trainers, config.cost)
-                if trainers > 1 else 0.0)
-        samples, reads, trains = [], [], []
+        sync, net_sync = self._sync_times(param_bytes, trainers, config,
+                                          network=network)
+        samples, reads, trains, halos = [], [], [], []
         for r in range(rounds):
-            sample_max = read_max = train_max = 0.0
-            for iters in per_trainer_iters:
+            sample_max = read_max = train_max = net_max = 0.0
+            for lane, iters in enumerate(per_trainer_iters):
                 if r < len(iters):
                     sample_t, io_t, comp_t = iters[r]
                     sample_max = max(sample_max, sample_t)
                     read_max = max(read_max, io_t)
                     train_max = max(train_max, comp_t)
+                    if network is not None:
+                        net_max = max(net_max, network.lane_time(lane, r))
             samples.append(sample_max)
             reads.append(read_max)
-            trains.append(train_max + sync)
+            trains.append(net_max + train_max + sync + net_sync)
+            halos.append(net_max)
         records: list = []
         makespan = storage_pipeline_makespan(
             samples, reads, trains,
@@ -137,13 +142,39 @@ class OutOfCoreFastGLFramework(FastGLFramework):
         )
         lane_of = {"sample": "sampler", "memory_io": "nvme",
                    "compute": "trainers"}
-        spans = [
-            {"lane": lane_of[stage], "name": f"{stage}[{batch}]",
-             "cat": stage, "start": start, "dur": end - start,
-             "batch": batch}
-            for stage, batch, start, end in records
-            if end > start
-        ]
+        spans: list = []
+        for stage, batch, start, end in records:
+            if end <= start:
+                continue
+            if stage != "compute":
+                spans.append({
+                    "lane": lane_of[stage], "name": f"{stage}[{batch}]",
+                    "cat": stage, "start": start, "dur": end - start,
+                    "batch": batch,
+                })
+                continue
+            halo = halos[batch] if batch < len(halos) else 0.0
+            cursor = start
+            if halo > 0:
+                spans.append({
+                    "lane": "trainers", "name": f"halo[{batch}]",
+                    "cat": "network", "start": cursor, "dur": halo,
+                    "batch": batch,
+                })
+                cursor += halo
+            body_end = end - net_sync
+            if body_end > cursor:
+                spans.append({
+                    "lane": "trainers", "name": f"compute[{batch}]",
+                    "cat": "compute", "start": cursor,
+                    "dur": body_end - cursor, "batch": batch,
+                })
+            if net_sync > 0:
+                spans.append({
+                    "lane": "trainers", "name": f"allreduce_net[{batch}]",
+                    "cat": "network", "start": body_end, "dur": net_sync,
+                    "batch": batch,
+                })
         return makespan, spans
 
 

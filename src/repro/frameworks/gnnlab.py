@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from repro.config import RunConfig
 from repro.frameworks.base import Framework
-from repro.gpu.cluster import allreduce_time
 from repro.graph.datasets import Dataset
 from repro.sampling import BaselineIdMap
 from repro.sampling.base import Sampler
@@ -62,7 +61,7 @@ class GNNLabFramework(Framework):
         return _cache_budget(dataset, config)
 
     def _epoch_timeline(self, per_trainer_iters, param_bytes, trainers,
-                        config) -> tuple:
+                        config, network=None) -> tuple:
         """Producer/consumer pipeline: sampler GPU(s) produce rounds, the
         trainer GPUs consume them in lockstep.
 
@@ -70,23 +69,30 @@ class GNNLabFramework(Framework):
         computes — round ``r``'s consumption begins at
         ``max(produced_r, consumer_free)`` — so the trainer lanes' final
         spans end exactly at the pipelined epoch time instead of the
-        serial sum the old trace showed.
+        serial sum the old trace showed. Cluster runs scale the sampler
+        pool (every simulated node factors its own sampler GPUs) and add
+        the halo exchange to each consumer lane plus the inter-node
+        gradient hop to the round barrier.
         """
         samplers = self.num_sampler_gpus(config)
+        if network is not None:
+            samplers *= network.num_nodes
         rounds = max(len(iters) for iters in per_trainer_iters)
-        sync = (allreduce_time(param_bytes, trainers, config.cost)
-                if trainers > 1 else 0.0)
+        sync, net_sync = self._sync_times(param_bytes, trainers, config,
+                                          network=network)
         spans: list = []
         producer_free = 0.0
         consumer_free = 0.0
         for r in range(rounds):
             sample_sum = 0.0
             rest_max = 0.0
-            for iters in per_trainer_iters:
+            for lane, iters in enumerate(per_trainer_iters):
                 if r < len(iters):
                     sample_t, io_t, comp_t = iters[r]
+                    net_t = (network.lane_time(lane, r)
+                             if network is not None else 0.0)
                     sample_sum += sample_t
-                    rest_max = max(rest_max, io_t + comp_t)
+                    rest_max = max(rest_max, io_t + net_t + comp_t)
             produce = sample_sum / samplers
             if produce > 0:
                 spans.append({
@@ -101,8 +107,11 @@ class GNNLabFramework(Framework):
                 if r >= len(iters):
                     continue
                 _, io_t, comp_t = iters[r]
+                net_t = (network.lane_time(lane, r)
+                         if network is not None else 0.0)
                 cursor = begin
                 for phase, duration in (("memory_io", io_t),
+                                        ("network", net_t),
                                         ("compute", comp_t)):
                     if duration > 0:
                         spans.append({
@@ -118,5 +127,13 @@ class GNNLabFramework(Framework):
                         "cat": "allreduce", "start": begin + rest_max,
                         "dur": sync, "batch": r,
                     })
-            consumer_free = begin + rest_max + sync
+            if net_sync > 0:
+                for lane in range(len(per_trainer_iters)):
+                    spans.append({
+                        "lane": f"gpu{lane}",
+                        "name": f"allreduce_net[{r}]",
+                        "cat": "network", "start": begin + rest_max + sync,
+                        "dur": net_sync, "batch": r,
+                    })
+            consumer_free = begin + rest_max + sync + net_sync
         return consumer_free, spans

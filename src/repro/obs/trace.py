@@ -28,6 +28,7 @@ SPAN_COLORS = {
     "sample": "thread_state_runnable",
     "idmap": "thread_state_unknown",
     "memory_io": "thread_state_iowait",
+    "network": "rail_response",
     "compute": "thread_state_running",
     "allreduce": "thread_state_sleeping",
     "retry": "bad",

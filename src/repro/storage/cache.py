@@ -1,6 +1,6 @@
 """Page caches for the out-of-core feature tier.
 
-Two policies, mirroring the literature the tier models:
+Three policies, mirroring the literature the tier models:
 
 * :class:`LRUPageCache` — the classic OS-page-cache baseline: pure
   recency. On GNN feature traffic it thrashes once the per-epoch working
@@ -14,11 +14,22 @@ Two policies, mirroring the literature the tier models:
   recency-based. At the small cache ratios where out-of-core training
   operates, pinning what is provably hot beats recency guessing.
 
-Both count hits/misses/evictions so loaders can feed the cost model.
+* :class:`FrequencyPageCache` — FastSample-style (arXiv:2311.17847):
+  pure observed access frequency with admission control. Every lookup
+  (hit or miss) bumps the page's count; a new page only displaces the
+  coldest resident page when it has been seen more often. Where the
+  partition cache needs workload foreknowledge (the train split and the
+  partition map), the frequency cache learns the same skew online —
+  which is exactly what a node can do for *remote* features it has no
+  partition-local knowledge about.
+
+All policies count hits/misses/evictions so loaders can feed the cost
+model.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 
 import numpy as np
@@ -189,6 +200,82 @@ class PartitionAwarePageCache(PageCache):
         self._lru.reset_stats()
 
 
+class FrequencyPageCache(PageCache):
+    """Access-frequency cache with admission control (FastSample-style).
+
+    Frequency counts accumulate on every lookup, resident or not, so the
+    cache converges on the workload's true hot set instead of its recent
+    one. Admission: a missing page is only admitted over the coldest
+    resident page when its count is strictly higher — one-off scans
+    cannot flush established hot pages. Ties and victim selection break
+    on the lower page ID, keeping the policy fully deterministic.
+    """
+
+    def __init__(self, capacity_pages: int) -> None:
+        super().__init__(capacity_pages)
+        self._counts: dict = {}
+        self._frames: dict = {}
+        # Lazy min-heap of (count-at-push, page_id) over resident pages:
+        # victim selection stays the exact (count, id) minimum, but in
+        # O(log n) amortized instead of a full scan per admission.
+        self._heap: list = []
+
+    @property
+    def num_resident(self) -> int:
+        return len(self._frames)
+
+    def _bump(self, page_id: int) -> None:
+        self._counts[page_id] = self._counts.get(page_id, 0) + 1
+
+    def lookup(self, page_id: int):
+        self._bump(page_id)
+        if page_id in self._frames:
+            self.hits += 1
+            return self._frames[page_id]
+        self.misses += 1
+        return MISS
+
+    def _pop_coldest(self) -> tuple:
+        """The resident page with the smallest (count, id) key. Stale
+        heap entries (evicted pages, outdated counts) are discarded or
+        refreshed on the way; counts only grow, so the first entry that
+        matches its current count is the true minimum."""
+        while True:
+            count, pid = heapq.heappop(self._heap)
+            if pid not in self._frames:
+                continue
+            current = self._counts.get(pid, 0)
+            if current != count:
+                heapq.heappush(self._heap, (current, pid))
+                continue
+            return count, pid
+
+    def insert(self, page_id: int, frame) -> None:
+        if self.capacity_pages == 0:
+            return
+        if page_id in self._frames:
+            self._frames[page_id] = frame
+            return
+        if len(self._frames) < self.capacity_pages:
+            self._frames[page_id] = frame
+            heapq.heappush(self._heap,
+                           (self._counts.get(page_id, 0), page_id))
+            return
+        victim = self._pop_coldest()
+        if self._counts.get(page_id, 0) > victim[0]:
+            del self._frames[victim[1]]
+            self.evictions += 1
+            self._frames[page_id] = frame
+            heapq.heappush(self._heap,
+                           (self._counts.get(page_id, 0), page_id))
+        else:
+            heapq.heappush(self._heap, victim)
+
+    def update(self, page_id: int, frame) -> None:
+        if page_id in self._frames:
+            self._frames[page_id] = frame
+
+
 def partition_page_hotness(
     page_store,
     partition_of_node: np.ndarray,
@@ -234,9 +321,11 @@ def build_page_cache(
     train_ids: np.ndarray | None = None,
     degrees: np.ndarray | None = None,
 ) -> PageCache:
-    """Construct the named cache policy ("lru" or "partition")."""
+    """Construct the named cache policy ("lru", "freq" or "partition")."""
     if policy == "lru":
         return LRUPageCache(capacity_pages)
+    if policy == "freq":
+        return FrequencyPageCache(capacity_pages)
     if policy == "partition":
         if page_store is None or partition_of_node is None:
             raise ValueError(

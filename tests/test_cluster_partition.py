@@ -1,0 +1,133 @@
+"""Property tests for the cluster partitioners and partition accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.partitioner import (
+    greedy_partition,
+    hash_partition,
+    partition_graph,
+    random_partition,
+)
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import community_graph
+from repro.graph.partition import partition_stats, validate_assignment
+
+
+@st.composite
+def graph_and_parts(draw):
+    num_nodes = draw(st.integers(min_value=60, max_value=240))
+    avg_degree = draw(st.floats(min_value=3.0, max_value=8.0))
+    num_parts = draw(st.integers(min_value=2, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    graph, _ = community_graph(num_nodes, avg_degree,
+                               num_communities=num_parts, rng=seed)
+    return graph, num_parts, seed
+
+
+class TestPartitionerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(graph_and_parts())
+    def test_every_node_assigned_exactly_once(self, case):
+        graph, num_parts, seed = case
+        for method in ("greedy", "random", "hash"):
+            assignment = partition_graph(graph, num_parts, method=method,
+                                         seed=seed)
+            assert len(assignment) == graph.num_nodes
+            assert assignment.min() >= 0
+            assert assignment.max() < num_parts
+            # validate_assignment accepts what the partitioners emit.
+            validate_assignment(assignment, graph.num_nodes, num_parts)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_and_parts())
+    def test_greedy_respects_balance_slack(self, case):
+        graph, num_parts, seed = case
+        slack = 0.05
+        assignment = greedy_partition(graph, num_parts,
+                                      balance_slack=slack)
+        sizes = np.bincount(assignment, minlength=num_parts)
+        ideal = graph.num_nodes / num_parts
+        capacity = max(int(np.ceil(ideal)),
+                       int(np.ceil(ideal * (1.0 + slack))))
+        assert sizes.max() <= capacity
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_and_parts())
+    def test_greedy_cut_never_worse_than_random(self, case):
+        graph, num_parts, seed = case
+        greedy = partition_stats(
+            graph, greedy_partition(graph, num_parts), num_parts)
+        random = partition_stats(
+            graph, random_partition(graph.num_nodes, num_parts, seed=seed),
+            num_parts)
+        assert greedy.edge_cut <= random.edge_cut
+
+
+class TestBaselinePartitioners:
+    def test_random_is_balanced(self):
+        assignment = random_partition(1001, 4, seed=3)
+        sizes = np.bincount(assignment, minlength=4)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_random_is_seeded(self):
+        a = random_partition(500, 4, seed=7)
+        b = random_partition(500, 4, seed=7)
+        c = random_partition(500, 4, seed=8)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_hash_is_round_robin(self):
+        assignment = hash_partition(10, 3)
+        np.testing.assert_array_equal(assignment,
+                                      np.arange(10, dtype=np.int64) % 3)
+
+    def test_unknown_method_rejected(self):
+        graph, _ = community_graph(100, 4.0, num_communities=2, rng=0)
+        with pytest.raises(ConfigError):
+            partition_graph(graph, 2, method="metis-real")
+
+
+class TestPartitionStats:
+    def _path_graph(self):
+        # 0-1-2-3: three undirected edges stored both ways.
+        indptr = np.array([0, 1, 3, 5, 6])
+        indices = np.array([1, 0, 2, 1, 3, 2])
+        return CSRGraph(indptr=indptr, indices=indices)
+
+    def test_handmade_cut_and_halo(self):
+        graph = self._path_graph()
+        assignment = np.array([0, 0, 1, 1])
+        stats = partition_stats(graph, assignment, num_parts=2)
+        # Only the 1-2 edge crosses, stored in both directions.
+        assert stats.edge_cut == 2
+        assert stats.cut_fraction == pytest.approx(2 / 6)
+        assert stats.sizes == (2, 2)
+        assert stats.balance == pytest.approx(1.0)
+        # Partition 0 must import node 2; partition 1 must import node 1.
+        assert stats.halo_nodes == (1, 1)
+
+    def test_single_partition_has_no_cut(self):
+        graph = self._path_graph()
+        stats = partition_stats(graph, np.zeros(4, dtype=np.int64),
+                                num_parts=1)
+        assert stats.edge_cut == 0
+        assert stats.halo_nodes == (0,)
+
+    def test_validate_rejects_wrong_length(self):
+        with pytest.raises(ConfigError):
+            validate_assignment(np.zeros(3, dtype=np.int64), num_nodes=4)
+
+    def test_validate_rejects_negative_and_out_of_range(self):
+        with pytest.raises(ConfigError):
+            validate_assignment(np.array([0, -1, 0]), num_nodes=3)
+        with pytest.raises(ConfigError):
+            validate_assignment(np.array([0, 2, 0]), num_nodes=3,
+                                num_parts=2)
+
+    def test_validate_rejects_non_integral(self):
+        with pytest.raises(ConfigError):
+            validate_assignment(np.array([0.0, 1.0]), num_nodes=2)

@@ -50,26 +50,29 @@ class TestPhaseTimes:
 
     def test_detail_exposes_idmap_and_preprocess_shares(self):
         phases = PhaseTimes(sample=1.0, idmap=0.25, memory_io=2.0,
-                            compute=3.0, preprocess=0.75, allreduce=0.5)
+                            network=0.5, compute=3.0, preprocess=0.75,
+                            allreduce=0.5)
         detail = phases.fractions(detail=True)
-        assert set(detail) == {"sample", "idmap", "memory_io", "compute",
-                               "preprocess", "allreduce"}
+        assert set(detail) == {"sample", "idmap", "memory_io", "network",
+                               "compute", "preprocess", "allreduce"}
         assert sum(detail.values()) == pytest.approx(1.0)
         total = phases.serial_total
         assert detail["idmap"] == pytest.approx(0.25 / total)
         assert detail["preprocess"] == pytest.approx(0.75 / total)
+        assert detail["network"] == pytest.approx(0.5 / total)
         # The detailed split refines the coarse one: the components the
         # default view folds together sum back to its shares.
         coarse = phases.fractions()
         assert detail["sample"] + detail["idmap"] == pytest.approx(
             coarse["sample"])
         assert (detail["compute"] + detail["preprocess"]
-                + detail["allreduce"]) == pytest.approx(coarse["compute"])
+                + detail["allreduce"] + detail["network"]
+                ) == pytest.approx(coarse["compute"])
 
     def test_detail_zero_total(self):
         detail = PhaseTimes().fractions(detail=True)
-        assert set(detail) == {"sample", "idmap", "memory_io", "compute",
-                               "preprocess", "allreduce"}
+        assert set(detail) == {"sample", "idmap", "memory_io", "network",
+                               "compute", "preprocess", "allreduce"}
         assert all(v == 0.0 for v in detail.values())
 
 
