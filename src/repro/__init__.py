@@ -38,10 +38,10 @@ from repro.frameworks import (
     available_frameworks,
     create,
     fastgl_variant,
-    get_framework,
     register,
 )
 from repro.api import run, serve
+from repro.pipeline import ExecutionSpec, PipelineSpec
 from repro.core.pipeline import FastGLTrainer, TrainHistory
 from repro.graph import CSRGraph, Dataset, DATASETS, get_dataset
 from repro.gpu import GPUSpec, RTX3090
@@ -72,7 +72,8 @@ __all__ = [
     "register",
     "run",
     "serve",
-    "get_framework",
+    "ExecutionSpec",
+    "PipelineSpec",
     "PyGFramework",
     "DGLFramework",
     "GNNAdvisorFramework",

@@ -17,8 +17,23 @@ inference workload through :mod:`repro.serve` and returns a
 :class:`~repro.serve.server.ServeReport`. Both accept a framework as a
 registry name (see :func:`available_frameworks`), a class, or an
 instance, and a dataset as a registry name or a
-:class:`~repro.graph.datasets.Dataset`. All tuning knobs are
-keyword-only so call sites stay readable as the configs grow.
+:class:`~repro.graph.datasets.Dataset`.
+
+The *what to run* knobs stay individual (``config``, ``model``,
+``sampler``); everything describing *where and how* execution happens —
+device spec, cluster shape, worker processes, fault plan, epoch
+pipelining — travels in one frozen
+:class:`~repro.pipeline.ExecutionSpec` passed as ``exec``::
+
+    report = run(
+        "fastgl", "products",
+        config=RunConfig(num_gpus=2),
+        exec=ExecutionSpec(cluster=ClusterSpec(num_nodes=2),
+                           pipeline="pipelined"),
+    )
+
+The pre-``ExecutionSpec`` keywords (``spec=``, ``cluster=``) keep
+working as warn-once deprecation shims.
 """
 
 from __future__ import annotations
@@ -27,8 +42,14 @@ from typing import Optional, Union
 
 from repro.config import RunConfig
 from repro.frameworks.base import EpochReport, Framework
-from repro.frameworks.registry import available_frameworks, create, resolve
+from repro.frameworks.registry import (
+    available_frameworks,
+    create,
+    resolve,
+    warn_deprecated,
+)
 from repro.graph.datasets import Dataset, get_dataset
+from repro.pipeline import ExecutionSpec, PipelineSpec
 from repro.serve.server import ServeConfig, ServeReport
 from repro.serve.server import simulate as _simulate
 
@@ -38,6 +59,8 @@ __all__ = [
     "create",
     "resolve",
     "available_frameworks",
+    "ExecutionSpec",
+    "PipelineSpec",
     "RunConfig",
     "ServeConfig",
     "EpochReport",
@@ -54,14 +77,36 @@ def _coerce_dataset(dataset: DatasetLike, seed: int) -> Dataset:
     return dataset
 
 
+def _coerce_execution(exec, spec, cluster, entry: str) -> ExecutionSpec:
+    """Fold the deprecated ``spec=``/``cluster=`` keywords into the one
+    :class:`ExecutionSpec`, warning once per shimmed keyword."""
+    if spec is not None:
+        warn_deprecated(f"api.{entry}(spec=...)",
+                        f"api.{entry}(exec=ExecutionSpec(gpu_spec=...))")
+    if cluster is not None:
+        warn_deprecated(f"api.{entry}(cluster=...)",
+                        f"api.{entry}(exec=ExecutionSpec(cluster=...))")
+    if exec is None:
+        return ExecutionSpec(cluster=cluster, gpu_spec=spec)
+    if not isinstance(exec, ExecutionSpec):
+        raise TypeError(f"exec must be an ExecutionSpec, got {exec!r}")
+    if spec is not None or cluster is not None:
+        raise TypeError(
+            "pass spec/cluster through the ExecutionSpec, not as "
+            "separate keyword arguments"
+        )
+    return exec
+
+
 def run(
     framework: FrameworkLike,
     dataset: DatasetLike,
     *,
     config: Optional[RunConfig] = None,
+    exec: Optional[ExecutionSpec] = None,
     model: str = "gcn",
-    spec=None,
     sampler=None,
+    spec=None,
     cluster=None,
 ) -> EpochReport:
     """Run one modeled training epoch.
@@ -77,24 +122,29 @@ def run(
         :class:`~repro.graph.datasets.Dataset`.
     config:
         :class:`~repro.config.RunConfig`; defaults to ``RunConfig()``.
+    exec:
+        :class:`~repro.pipeline.ExecutionSpec` bundling the execution
+        environment: ``gpu_spec`` (device override, applied when
+        ``framework`` is given by name or class), ``cluster``
+        (:class:`~repro.cluster.spec.ClusterSpec` — ``config`` then
+        describes one node), ``jobs`` (worker processes for the trainer
+        lanes), ``faults`` (a fault plan installed for the run), and
+        ``pipeline`` (``"off"`` | ``"pipelined"`` or a
+        :class:`~repro.pipeline.PipelineSpec`).
     model:
         Model profile name (``"gcn"``, ``"gat"``, ``"graphsage"``).
-    spec:
-        Optional :class:`~repro.gpu.spec.GPUSpec` override, applied when
-        ``framework`` is given by name or class.
     sampler:
         Optional pre-built sampler, forwarded to ``run_epoch``.
-    cluster:
-        Optional :class:`~repro.cluster.spec.ClusterSpec`; scales the
-        epoch across simulated machines (``config`` then describes one
-        node).
+    spec, cluster:
+        Deprecated — fold into ``exec``. Warn once, keep working.
     """
+    execution = _coerce_execution(exec, spec, cluster, "run")
     if config is None:
         config = RunConfig()
-    instance = resolve(framework, spec=spec)
+    instance = resolve(framework, spec=execution.gpu_spec)
     data = _coerce_dataset(dataset, config.seed)
     return instance.run_epoch(data, config, model_name=model,
-                              sampler=sampler, cluster=cluster)
+                              sampler=sampler, execution=execution)
 
 
 def serve(
@@ -104,6 +154,7 @@ def serve(
     run_config: Optional[RunConfig] = None,
     serve_config: Optional[ServeConfig] = None,
     model: str = "gcn",
+    exec: Optional[ExecutionSpec] = None,
     spec=None,
 ) -> ServeReport:
     """Simulate online inference serving (see :mod:`repro.serve`).
@@ -112,7 +163,12 @@ def serve(
     ``serve_config`` (a :class:`~repro.serve.server.ServeConfig`)
     describes the request workload and micro-batching policy, and
     ``run_config`` carries the sampling fanouts, seed, and cost model.
+    ``exec`` carries the same :class:`~repro.pipeline.ExecutionSpec` as
+    :func:`run`; serving uses its ``gpu_spec`` (the other fields
+    describe epoch training and do not apply). ``spec=`` remains as a
+    warn-once deprecation shim.
     """
+    execution = _coerce_execution(exec, spec, None, "serve")
     if run_config is None:
         run_config = RunConfig(num_gpus=1)
     data = _coerce_dataset(dataset, run_config.seed)
@@ -122,5 +178,5 @@ def serve(
         run_config=run_config,
         serve_config=serve_config,
         model=model,
-        spec=spec,
+        spec=execution.gpu_spec,
     )

@@ -34,6 +34,7 @@ from repro.cluster.spec import ClusterSpec
 from repro.config import RunConfig
 from repro.obs import instrumented, to_snapshot
 from repro.obs.regress import build_baseline, check, format_violation
+from repro.pipeline import ExecutionSpec
 from repro.utils.format import ascii_table
 
 #: Reconciliation tolerance between timeline extent and epoch time.
@@ -146,7 +147,8 @@ def main(argv=None) -> int:
         for name in frameworks:
             for variant, spec in specs.items():
                 report = FRAMEWORKS[name]().run_epoch(
-                    dataset, config, model_name="gcn", cluster=spec
+                    dataset, config, model_name="gcn",
+                    execution=ExecutionSpec(cluster=spec),
                 )
                 reports[(name, variant)] = report
                 _publish_summary(registry, report, variant)

@@ -76,6 +76,12 @@ EXPERIMENTS = {
                          "run_weak_scaling"),
     "ext_cluster_part": ("repro.experiments.ext_cluster",
                          "run_partitioners"),
+    "ext_pipe_overlap": ("repro.experiments.ext_pipeline",
+                         "run_overlap"),
+    "ext_pipe_depth": ("repro.experiments.ext_pipeline",
+                       "run_queue_depths"),
+    "ext_pipe_stale": ("repro.experiments.ext_pipeline",
+                       "run_staleness"),
 }
 
 

@@ -27,6 +27,7 @@ from dataclasses import replace
 from repro.cluster.spec import ClusterSpec
 from repro.config import RunConfig
 from repro.experiments.runner import ExperimentResult, epoch_report
+from repro.pipeline import ExecutionSpec
 
 #: Cluster sizes the scaling curves sweep.
 NODE_COUNTS = (4, 8, 16)
@@ -57,6 +58,10 @@ def _spec(num_nodes: int, partitioner: str, cache: str) -> ClusterSpec:
                        remote_cache=cache, **FABRIC)
 
 
+def _exec(num_nodes: int, partitioner: str, cache: str) -> ExecutionSpec:
+    return ExecutionSpec(cluster=_spec(num_nodes, partitioner, cache))
+
+
 def run_strong_scaling(dataset_name: str = "papers100m",
                        nodes=NODE_COUNTS,
                        config: RunConfig | None = None) -> ExperimentResult:
@@ -71,13 +76,13 @@ def run_strong_scaling(dataset_name: str = "papers100m",
     )
     base = epoch_report(
         "fastgl", dataset_name, config, model="gcn",
-        cluster=_spec(1, "greedy", "freq"),
+        execution=_exec(1, "greedy", "freq"),
     )
     for num_nodes in nodes:
         for label, partitioner, cache in VARIANTS:
             report = epoch_report(
                 "fastgl", dataset_name, config, model="gcn",
-                cluster=_spec(num_nodes, partitioner, cache),
+                execution=_exec(num_nodes, partitioner, cache),
             )
             cluster = report.extras["cluster"]
             speedup = base.epoch_time / report.epoch_time
@@ -134,7 +139,7 @@ def run_weak_scaling(dataset_name: str = "papers100m",
             report = epoch_report(
                 "fastgl", dataset_name, config, model="gcn",
                 dataset=dataset,
-                cluster=_spec(num_nodes, partitioner, cache),
+                execution=_exec(num_nodes, partitioner, cache),
             )
             if num_nodes == 1:
                 baselines["epoch"] = report.epoch_time
@@ -172,7 +177,7 @@ def run_partitioners(dataset_name: str = "papers100m",
     for partitioner in ("greedy", "random", "hash"):
         report = epoch_report(
             "fastgl", dataset_name, config, model="gcn",
-            cluster=_spec(num_nodes, partitioner, "freq"),
+            execution=_exec(num_nodes, partitioner, "freq"),
         )
         cluster = report.extras["cluster"]
         partition, halo = cluster["partition"], cluster["halo"]

@@ -13,6 +13,7 @@ from repro.config import RunConfig
 from repro.frameworks import EpochReport, create
 from repro.graph.datasets import SHORT_NAMES, get_dataset
 from repro.obs import get_registry
+from repro.pipeline import DEFAULT_EXECUTION, ExecutionSpec
 from repro.utils.format import ascii_series, ascii_table
 
 #: Dataset order used throughout the paper's tables.
@@ -90,20 +91,24 @@ def epoch_report(
     model: str = "gcn",
     dataset=None,
     sampler=None,
-    cluster=None,
+    execution: ExecutionSpec | None = None,
 ) -> EpochReport:
     """Run (and memoize) one epoch.
 
     ``framework`` is a registry name (see
     :func:`repro.frameworks.available_frameworks`), a framework class,
     or an instance. Memoization only applies to the name/class forms
-    with default datasets and samplers (``cluster``, a frozen
-    :class:`~repro.cluster.spec.ClusterSpec`, is part of the key);
+    with default datasets and samplers (``execution``, a frozen
+    :class:`~repro.pipeline.ExecutionSpec`, is part of the key);
     hit/miss counts are visible through :func:`cache_info` and, when
     observability is on, the ``repro_experiment_report_cache_total``
     counter.
     """
-    cacheable = dataset is None and sampler is None
+    if execution is None:
+        execution = DEFAULT_EXECUTION
+    # A fault plan is stateful (fired counts) and unhashable; never memoize.
+    cacheable = (dataset is None and sampler is None
+                 and execution.faults is None)
     if isinstance(framework, str):
         key_id = framework
         instance = create(framework)
@@ -114,7 +119,7 @@ def epoch_report(
         instance = framework
         key_id = None
         cacheable = False
-    key = (key_id, dataset_name, model, config, cluster)
+    key = (key_id, dataset_name, model, config, execution)
     if cacheable and key in _REPORT_CACHE:
         _record_cache_access(hit=True)
         return _REPORT_CACHE[key]
@@ -122,7 +127,7 @@ def epoch_report(
     if dataset is None:
         dataset = get_dataset(dataset_name, seed=config.seed)
     report = instance.run_epoch(dataset, config, model_name=model,
-                                sampler=sampler, cluster=cluster)
+                                sampler=sampler, execution=execution)
     if cacheable:
         _REPORT_CACHE[key] = report
     return report

@@ -2,7 +2,7 @@
 
 Names resolve through the registry (:func:`create`,
 :func:`available_frameworks`, :func:`register`); the ``FRAMEWORKS`` dict
-and :func:`get_framework` remain as compatibility aliases.
+remains as a compatibility alias.
 """
 
 from repro.frameworks.base import EpochReport, Framework, PhaseTimes
@@ -10,7 +10,6 @@ from repro.frameworks.registry import (
     FRAMEWORKS,
     available_frameworks,
     create,
-    get_framework,
     register,
     resolve,
     unregister,
@@ -51,7 +50,6 @@ __all__ = [
     "FRAMEWORKS",
     "available_frameworks",
     "create",
-    "get_framework",
     "register",
     "resolve",
     "unregister",

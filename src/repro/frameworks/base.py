@@ -22,6 +22,7 @@ are built from.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,10 +34,12 @@ from repro.gpu.cluster import allreduce_time
 from repro.gpu.pcie import link_from_cost
 from repro.gpu.spec import GPUSpec, RTX3090
 from repro.graph.datasets import Dataset
+from repro.frameworks.registry import warn_deprecated
 from repro.graph.partition import MinibatchPlan
 from repro.nn import Adam, Tensor, build_model, cross_entropy
 from repro.obs import get_registry
 from repro.parallel import ParallelExecutor
+from repro.pipeline import ExecutionSpec, pipelined_epoch_layout
 from repro.sampling import (
     BaselineIdMap,
     NeighborSampler,
@@ -320,6 +323,38 @@ def _inject_retry_spans(spans: list, per_trainer_retries: list) -> None:
     spans.extend(overlays)
 
 
+def _merge_pipeline_info(infos: list) -> dict:
+    """Fold per-epoch stage-graph accounting into ``extras["pipeline"]``.
+
+    Scalar seconds and sync counts sum across epochs; the per-stage
+    total/stall maps merge key-wise (the halo stage may be absent on
+    epochs with no remote rows). Mode knobs come from the spec and are
+    identical across epochs.
+    """
+    merged = {
+        "mode": infos[0]["mode"],
+        "queue_depth": infos[0]["queue_depth"],
+        "staleness": infos[0]["staleness"],
+        "stage_totals": {},
+        "stall_seconds": {},
+        "num_syncs": 0,
+        "serial_seconds": 0.0,
+        "fill_seconds": 0.0,
+        "bound_seconds": 0.0,
+        "epoch_seconds": 0.0,
+    }
+    for info in infos:
+        merged["num_syncs"] += info["num_syncs"]
+        for key in ("serial_seconds", "fill_seconds", "bound_seconds",
+                    "epoch_seconds"):
+            merged[key] += info[key]
+        for field, totals in (("stage_totals", info["stage_totals"]),
+                              ("stall_seconds", info["stall_seconds"])):
+            for name, value in totals.items():
+                merged[field][name] = merged[field].get(name, 0.0) + value
+    return merged
+
+
 def _consecutive_match(matrix, order) -> float:
     """Summed match degree of consecutive pairs under ``order``."""
     order = list(order)
@@ -384,29 +419,82 @@ class Framework:
         config: RunConfig,
         model_name: str = "gcn",
         sampler: Sampler | None = None,
-        jobs: int = 1,
+        execution: ExecutionSpec | None = None,
+        jobs: int | None = None,
         cluster=None,
     ) -> EpochReport:
         """Execute one epoch and return its full report.
 
-        ``jobs > 1`` computes the per-trainer lanes (reorder + transfer
-        planning + compute modeling) in forked worker processes via
-        :mod:`repro.parallel`. Sampling stays in the parent (the shared
-        sampler RNG's consumption order must not depend on the job
-        count), as do model training and the final accumulation — both
-        run over the lanes' returned records in lane order, so the
-        report and merged metrics are bit-identical to ``jobs=1``.
-        Multi-epoch runs with loaders that carry state across epochs
-        (the SSD page caches) fall back to in-process lanes.
+        ``execution`` (an :class:`~repro.pipeline.ExecutionSpec`)
+        bundles every execution-environment knob:
 
-        ``cluster`` (a :class:`~repro.cluster.spec.ClusterSpec`) scales
-        the run across simulated machines: ``config.num_gpus`` describes
-        *one* node, global trainer lanes multiply by ``num_nodes``, each
-        batch pays a halo feature exchange for remote input rows, and
-        the gradient sync becomes hierarchical (intra-node NCCL + an
-        inter-node fabric allreduce in the new ``network`` phase). A
-        one-node cluster is bit-identical to ``cluster=None``.
+        * ``jobs > 1`` computes the per-trainer lanes (reorder +
+          transfer planning + compute modeling) in forked worker
+          processes via :mod:`repro.parallel`. Sampling stays in the
+          parent (the shared sampler RNG's consumption order must not
+          depend on the job count), as do model training and the final
+          accumulation — both run over the lanes' returned records in
+          lane order, so the report and merged metrics are
+          bit-identical to ``jobs=1``. Multi-epoch runs with loaders
+          that carry state across epochs (the SSD page caches) fall
+          back to in-process lanes.
+        * ``cluster`` (a :class:`~repro.cluster.spec.ClusterSpec`)
+          scales the run across simulated machines: ``config.num_gpus``
+          describes *one* node, global trainer lanes multiply by
+          ``num_nodes``, each batch pays a halo feature exchange for
+          remote input rows, and the gradient sync becomes hierarchical
+          (intra-node NCCL + an inter-node fabric allreduce in the
+          ``network`` phase). A one-node cluster is bit-identical to
+          ``cluster=None``.
+        * ``faults`` (a :class:`~repro.faults.FaultPlan`) is installed
+          for the span of the run, replacing a hand-written
+          ``fault_scope`` around the call.
+        * ``pipeline`` selects the epoch scheduler: ``"off"`` keeps
+          this framework's classic layout bit-for-bit; ``"pipelined"``
+          drives the epoch through the bounded stage graph
+          (:mod:`repro.pipeline`) so sample/transfer/halo/train
+          overlap across rounds. Model state (losses, parameters) is
+          identical in both modes — the pipeline only reschedules
+          modeled time.
+
+        The bare ``jobs=`` / ``cluster=`` keyword arguments remain as
+        warn-once deprecation shims for pre-``ExecutionSpec`` callers.
         """
+        if jobs is not None:
+            warn_deprecated("Framework.run_epoch(jobs=...)",
+                            "execution=ExecutionSpec(jobs=...)")
+        if cluster is not None:
+            warn_deprecated("Framework.run_epoch(cluster=...)",
+                            "execution=ExecutionSpec(cluster=...)")
+        if execution is None:
+            execution = ExecutionSpec(
+                jobs=jobs if jobs is not None else 1,
+                cluster=cluster,
+            )
+        elif jobs is not None or cluster is not None:
+            raise TypeError(
+                "pass jobs/cluster through the ExecutionSpec, not as "
+                "separate keyword arguments"
+            )
+        with ExitStack() as stack:
+            if execution.faults is not None:
+                from repro.faults import fault_scope
+
+                stack.enter_context(fault_scope(execution.faults))
+            return self._run_epoch(dataset, config, model_name, sampler,
+                                   execution)
+
+    def _run_epoch(
+        self,
+        dataset: Dataset,
+        config: RunConfig,
+        model_name: str,
+        sampler: Sampler | None,
+        execution: ExecutionSpec,
+    ) -> EpochReport:
+        jobs = execution.jobs
+        cluster = execution.cluster
+        pipeline = execution.pipeline
         cost = config.cost
         rngs = RngFactory(config.seed)
         link = link_from_cost(self.spec, cost)
@@ -466,6 +554,7 @@ class Framework:
         num_batches = 0
         iteration_log: list = []  # per trainer: [(sample, io, compute), ...]
         timeline: list = []  # modeled spans laid out by _epoch_timeline
+        pipeline_log: list = []  # per-epoch stage-graph accounting
 
         # Observability handles, fetched once per epoch run. With the
         # registry disabled these are the shared no-op singletons, so the
@@ -616,30 +705,46 @@ class Framework:
                     net_sync_s=cluster_state.net_sync_time(param_bytes),
                     num_nodes=cluster_state.num_nodes,
                 )
-            epoch_seconds, epoch_spans = self._epoch_timeline(
-                per_trainer_iters, param_bytes, trainers, config,
-                network=network,
-            )
+            pipe_info = None
+            if pipeline.enabled:
+                epoch_seconds, epoch_spans, pipe_info = (
+                    self._pipelined_timeline(
+                        per_trainer_iters, param_bytes, trainers, config,
+                        network=network, pipeline=pipeline,
+                    )
+                )
+                pipe_info["epoch_seconds"] = epoch_seconds
+                pipeline_log.append(pipe_info)
+            else:
+                epoch_seconds, epoch_spans = self._epoch_timeline(
+                    per_trainer_iters, param_bytes, trainers, config,
+                    network=network,
+                )
             _inject_retry_spans(epoch_spans, per_trainer_retries)
             for span in epoch_spans:
                 span["start"] += epoch_time
             timeline.extend(epoch_spans)
             epoch_time += epoch_seconds
+            num_syncs = (pipe_info["num_syncs"] if pipe_info is not None
+                         else None)
             epoch_allreduce = self._allreduce_total(
                 per_trainer_iters, param_bytes, trainers, config,
-                network=network,
+                network=network, num_syncs=num_syncs,
             )
             phases.allreduce += epoch_allreduce
             if epoch_allreduce > 0:
                 obs_phase["allreduce"].observe(epoch_allreduce)
             if network is not None and network.net_sync_s > 0:
                 rounds = max(len(iters) for iters in per_trainer_iters)
-                net_sync_total = rounds * network.net_sync_s
+                syncs = num_syncs if num_syncs is not None else rounds
+                net_sync_total = syncs * network.net_sync_s
                 phases.network += net_sync_total
                 obs_phase["network"].observe(net_sync_total)
         extras = {"iterations": iteration_log,
                   "num_trainers": trainers,
                   "timeline": timeline}
+        if pipeline_log:
+            extras["pipeline"] = _merge_pipeline_info(pipeline_log)
         if cluster_state is not None:
             extras["cluster"] = cluster_state.summary()
         if model is not None:
@@ -748,15 +853,18 @@ class Framework:
         return max(0.0, io_t)
 
     def _allreduce_total(self, per_trainer_iters, param_bytes, trainers,
-                         config, network=None) -> float:
+                         config, network=None, num_syncs=None) -> float:
         rounds = max(len(iters) for iters in per_trainer_iters)
+        # Bounded-staleness accumulation syncs fewer than ``rounds``
+        # times; the sequential layouts sync every round.
+        syncs = rounds if num_syncs is None else num_syncs
         if network is not None:
             # Hierarchical sync: only the intra-node NCCL share counts as
             # ``allreduce``; the inter-node hop is network-phase time.
-            return rounds * network.intra_sync_s
+            return syncs * network.intra_sync_s
         if trainers <= 1:
             return 0.0
-        return rounds * allreduce_time(param_bytes, trainers, config.cost)
+        return syncs * allreduce_time(param_bytes, trainers, config.cost)
 
     def _epoch_time(self, per_trainer_iters, param_bytes, trainers,
                     config, network=None) -> float:
@@ -775,6 +883,49 @@ class Framework:
         sync = (allreduce_time(param_bytes, trainers, config.cost)
                 if trainers > 1 else 0.0)
         return sync, 0.0
+
+    def _pipeline_stage_times(self, per_trainer_iters, config,
+                              network=None) -> tuple:
+        """Per-round stage seconds the pipelined layout schedules.
+
+        Returns ``(samples, ios, nets, computes)``, each one value per
+        lockstep round: the phase reduced across trainer lanes by max,
+        because the stage (sampler stream / DMA engine / NIC / training
+        stream) only releases the round once its slowest lane finishes.
+        Frameworks with a dedicated sampling tier (GNNLab) override this
+        to factor their sampler-GPU throughput into the sample stage.
+        """
+        rounds = max(len(iters) for iters in per_trainer_iters)
+        samples = [0.0] * rounds
+        ios = [0.0] * rounds
+        nets = [0.0] * rounds
+        computes = [0.0] * rounds
+        for lane, iters in enumerate(per_trainer_iters):
+            for r, (sample_t, io_t, comp_t) in enumerate(iters):
+                samples[r] = max(samples[r], sample_t)
+                ios[r] = max(ios[r], io_t)
+                computes[r] = max(computes[r], comp_t)
+                if network is not None:
+                    nets[r] = max(nets[r], network.lane_time(lane, r))
+        return samples, ios, nets, computes
+
+    def _pipelined_timeline(self, per_trainer_iters, param_bytes, trainers,
+                            config, network=None, *, pipeline) -> tuple:
+        """Asynchronous layout: the epoch's rounds flow through the
+        bounded stage graph so round ``i+2`` samples while ``i+1``
+        transfers and ``i`` trains. Returns ``(epoch_seconds, spans,
+        info)``; model state is untouched — only modeled time moves.
+        """
+        samples, ios, nets, computes = self._pipeline_stage_times(
+            per_trainer_iters, config, network=network,
+        )
+        sync, net_sync = self._sync_times(param_bytes, trainers, config,
+                                          network=network)
+        return pipelined_epoch_layout(
+            samples, ios, nets, computes,
+            sync=sync, net_sync=net_sync, pipeline=pipeline,
+            label=self.name or "epoch",
+        )
 
     def _epoch_timeline(self, per_trainer_iters, param_bytes, trainers,
                         config, network=None) -> tuple:

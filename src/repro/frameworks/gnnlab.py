@@ -60,6 +60,24 @@ class GNNLabFramework(Framework):
                             config: RunConfig) -> int:
         return _cache_budget(dataset, config)
 
+    def _pipeline_stage_times(self, per_trainer_iters, config,
+                              network=None) -> tuple:
+        """GNNLab's sample stage is its dedicated sampler pool: a round's
+        sample time is the *sum* across trainer lanes divided by the
+        sampler GPUs (every simulated node factors its own pool on
+        cluster runs), not the per-lane max the base hook assumes."""
+        samples, ios, nets, computes = super()._pipeline_stage_times(
+            per_trainer_iters, config, network=network,
+        )
+        samplers = self.num_sampler_gpus(config)
+        if network is not None:
+            samplers *= network.num_nodes
+        for r in range(len(samples)):
+            sample_sum = sum(iters[r][0] for iters in per_trainer_iters
+                             if r < len(iters))
+            samples[r] = sample_sum / samplers
+        return samples, ios, nets, computes
+
     def _epoch_timeline(self, per_trainer_iters, param_bytes, trainers,
                         config, network=None) -> tuple:
         """Producer/consumer pipeline: sampler GPU(s) produce rounds, the

@@ -78,8 +78,15 @@ def resolve(framework, *, spec=None):
     return framework
 
 
-def _warn_deprecated(old: str, new: str) -> None:
-    """Emit one :class:`DeprecationWarning` per process per entry point."""
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit one :class:`DeprecationWarning` per process per entry point.
+
+    Shared by every compatibility shim in the package (the
+    ``api.run(spec=/cluster=)`` and ``run_epoch(jobs=/cluster=)``
+    keyword shims follow the precedent the removed ``get_framework``
+    alias set): the first use of a deprecated entry point warns, later
+    uses stay silent so sweeps don't flood the log.
+    """
     if old in _DEPRECATION_WARNED:
         return
     _DEPRECATION_WARNED.add(old)
@@ -88,10 +95,3 @@ def _warn_deprecated(old: str, new: str) -> None:
         DeprecationWarning,
         stacklevel=3,
     )
-
-
-def get_framework(name: str, **kwargs):
-    """Deprecated alias of :func:`create` (kept for existing scripts)."""
-    _warn_deprecated("repro.frameworks.get_framework()",
-                     "repro.frameworks.create()")
-    return create(name, **kwargs)

@@ -1,0 +1,236 @@
+"""Pipeline-overlap smoke gate from the command line.
+
+Usage::
+
+    python -m repro.pipeline                       # print the comparison
+    python -m repro.pipeline --write-baseline \\
+        benchmarks/results/pipeline_baseline.json  # refresh the baseline
+    python -m repro.pipeline --check-baseline \\
+        benchmarks/results/pipeline_baseline.json  # the CI smoke gate
+
+Runs a deterministic mini configuration through every smoke framework
+twice — the phase-sequential driver, then the bounded stage-graph
+pipeline — and:
+
+* verifies both timelines reconcile with their modeled epoch times
+  (the pipelined one including the ``stalls`` lane);
+* asserts the pipelined epoch never loses to the sequential driver and
+  lands within the overlap tolerance of ``max(stage totals) + fill``;
+* with ``--check-baseline``, gates the instrumented metrics (epoch and
+  stall seconds, overlap ratio, queue occupancy) against the committed
+  snapshot via :mod:`repro.obs.regress` tolerances — the regression
+  floor that keeps future changes from quietly serializing the overlap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.config import RunConfig
+from repro.obs import instrumented, to_snapshot
+from repro.obs.regress import build_baseline, check, format_violation
+from repro.pipeline import ExecutionSpec, PipelineSpec
+from repro.utils.format import ascii_table
+
+#: Reconciliation tolerance between timeline extent and epoch time.
+RECONCILE_TOL = 1e-6
+
+#: Achieved epoch vs the ``max(stage totals) + fill`` estimate.
+BOUND_SLACK = 1.15
+
+#: Frameworks the smoke gate drives: the serial baseline (widest
+#: overlap win) and the full FastGL stack (cache leaves one stage
+#: dominant — the narrow case).
+SMOKE_FRAMEWORKS = ("dgl", "fastgl")
+
+
+def smoke_dataset():
+    """A tiny self-contained dataset for the CI smoke gate (never reads
+    the named dataset registry; mirrors ``repro.cluster.__main__``)."""
+    from repro.graph.datasets import Dataset, DatasetSpec, PaperScale
+
+    spec = DatasetSpec(
+        name="pipeline-smoke",
+        num_nodes=4000,
+        avg_degree=10.0,
+        feature_dim=128,
+        num_classes=8,
+        train_fraction=0.2,
+        paper=PaperScale(300_000, 3_000_000, 1 << 30),
+    )
+    return Dataset(spec, seed=0)
+
+
+def smoke_config() -> RunConfig:
+    # Small batches so every stage runs many rounds — the pipeline
+    # needs rounds in flight before overlap shows.
+    return RunConfig(batch_size=32, fanouts=(5, 5), num_gpus=2,
+                     num_epochs=2, seed=0)
+
+
+def _publish_summary(registry, name, sequential, pipelined) -> None:
+    """Expose the per-framework comparison as gauges so the baseline
+    gate diffs overlap ratio and stall floors directly."""
+    info = pipelined.extras["pipeline"]
+    hidden = sequential.epoch_time - pipelined.epoch_time
+    hideable = sequential.epoch_time - info["bound_seconds"]
+    overlap = hidden / hideable if hideable > 1e-12 else 1.0
+    for metric, value in (
+        ("repro_pipeline_sequential_epoch_seconds",
+         sequential.epoch_time),
+        ("repro_pipeline_pipelined_epoch_seconds", pipelined.epoch_time),
+        ("repro_pipeline_bound_seconds", info["bound_seconds"]),
+        ("repro_pipeline_overlap_ratio", overlap),
+        ("repro_pipeline_total_stall_seconds",
+         sum(info["stall_seconds"].values())),
+    ):
+        registry.gauge(metric, "Pipeline smoke summary statistic").labels(
+            framework=name).set(float(value))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline",
+        description="Run the deterministic pipeline-overlap smoke "
+                    "comparison and gate it against a committed "
+                    "baseline.",
+    )
+    parser.add_argument("--framework", action="append", default=None,
+                        metavar="NAME",
+                        help="framework to run (repeatable; default: "
+                             + ", ".join(SMOKE_FRAMEWORKS) + ")")
+    parser.add_argument("--queue-depth", type=int, default=2,
+                        help="stage-graph buffer depth "
+                             "(default: %(default)s)")
+    parser.add_argument("--snapshot", metavar="PATH", default=None,
+                        help="also write the raw metrics snapshot here")
+    parser.add_argument("--check-baseline", metavar="PATH", default=None,
+                        help="gate instrumented pipeline metrics against "
+                             "a committed baseline (repro.obs.regress)")
+    parser.add_argument("--write-baseline", metavar="PATH", default=None,
+                        help="write/refresh the baseline from this run")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="default relative tolerance when writing a "
+                             "baseline (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    from repro.frameworks import FRAMEWORKS, available_frameworks
+
+    frameworks = tuple(args.framework or SMOKE_FRAMEWORKS)
+    unknown = [n for n in frameworks if n not in available_frameworks()]
+    if unknown:
+        parser.error(f"unknown framework(s): {unknown}; "
+                     f"available: {list(available_frameworks())}")
+
+    dataset = smoke_dataset()
+    config = smoke_config()
+    pipelined_exec = ExecutionSpec(pipeline=PipelineSpec(
+        mode="pipelined", queue_depth=args.queue_depth))
+
+    reports: dict = {}
+    with instrumented() as registry:
+        for name in frameworks:
+            sequential = FRAMEWORKS[name]().run_epoch(
+                dataset, config, model_name="gcn")
+            pipelined = FRAMEWORKS[name]().run_epoch(
+                dataset, config, model_name="gcn",
+                execution=pipelined_exec)
+            reports[name] = (sequential, pipelined)
+            _publish_summary(registry, name, sequential, pipelined)
+        snapshot = to_snapshot(registry)
+
+    rows = []
+    for name, (sequential, pipelined) in reports.items():
+        info = pipelined.extras["pipeline"]
+        rows.append([
+            name,
+            round(sequential.epoch_time * 1e3, 4),
+            round(pipelined.epoch_time * 1e3, 4),
+            round(info["bound_seconds"] * 1e3, 4),
+            round(sum(info["stall_seconds"].values()) * 1e3, 4),
+            max(info["stage_totals"], key=info["stage_totals"].get),
+        ])
+    print(ascii_table(
+        ["framework", "seq_ms", "piped_ms", "bound_ms", "stall_ms",
+         "bottleneck"],
+        rows,
+    ))
+
+    failures = 0
+    for name, (sequential, pipelined) in reports.items():
+        for label, report in (("sequential", sequential),
+                              ("pipelined", pipelined)):
+            spans = report.timeline()
+            extent = max((span.end for span in spans), default=0.0)
+            delta = abs(extent - report.epoch_time)
+            if delta > RECONCILE_TOL:
+                print(f"{name}/{label}: TIMELINE MISMATCH: extent "
+                      f"{extent!r} vs epoch_time {report.epoch_time!r}",
+                      file=sys.stderr)
+                failures += 1
+        if pipelined.losses != sequential.losses:
+            print(f"{name}: MODEL STATE DIVERGED between sequential and "
+                  "pipelined runs", file=sys.stderr)
+            failures += 1
+        info = pipelined.extras["pipeline"]
+        if pipelined.epoch_time > sequential.epoch_time + 1e-9:
+            print(f"{name}: REGRESSION: pipelined "
+                  f"({pipelined.epoch_time:.6f}s) slower than sequential "
+                  f"({sequential.epoch_time:.6f}s)", file=sys.stderr)
+            failures += 1
+        if pipelined.epoch_time > info["bound_seconds"] * BOUND_SLACK:
+            print(f"{name}: REGRESSION: pipelined epoch "
+                  f"({pipelined.epoch_time:.6f}s) misses the overlap "
+                  f"bound ({info['bound_seconds']:.6f}s) by more than "
+                  f"{BOUND_SLACK - 1:.0%}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"{name}: pipelined epoch within "
+                  f"{pipelined.epoch_time / info['bound_seconds'] - 1:.2%}"
+                  " of the overlap bound")
+    if not failures:
+        print(f"all {len(reports)} framework comparisons reconcile and "
+              f"overlap (tolerance {RECONCILE_TOL:g}, bound slack "
+              f"{BOUND_SLACK - 1:.0%})")
+
+    if args.snapshot:
+        with open(args.snapshot, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"wrote snapshot: {args.snapshot}")
+
+    if args.write_baseline:
+        baseline = build_baseline(snapshot,
+                                  default_tolerance=args.tolerance)
+        baseline["suite"] = list(frameworks)
+        with open(args.write_baseline, "w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote baseline: {args.write_baseline} "
+              f"({len(baseline['metrics'])} metrics)")
+        return 0
+
+    if args.check_baseline:
+        try:
+            with open(args.check_baseline) as handle:
+                baseline = json.load(handle)
+        except FileNotFoundError:
+            print(f"no baseline at {args.check_baseline}; create one with "
+                  "--write-baseline", file=sys.stderr)
+            return 2
+        violations = check(snapshot, baseline)
+        checked = len(baseline.get("metrics", {}))
+        if violations:
+            print(f"{len(violations)} of {checked} pipeline metrics "
+                  "regressed:")
+            for violation in violations:
+                print("  " + format_violation(violation))
+            return 1
+        print(f"ok: {checked} pipeline metrics within tolerance")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

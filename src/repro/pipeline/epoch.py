@@ -1,0 +1,164 @@
+"""Pipelined epoch layout: rounds flowing through the stage graph.
+
+Converts one epoch's per-round stage times (sample / memory IO / halo
+exchange / train) into the overlapped timeline
+:meth:`repro.frameworks.base.Framework.run_epoch` exports when
+``PipelineSpec.mode == "pipelined"``: the rounds flow through
+:func:`repro.pipeline.graph.stage_graph_makespan`, so round ``i+2``
+samples while ``i+1`` transfers and ``i`` trains, halo exchange runs as
+its own stage (overlapping the previous round's compute instead of
+serializing before it), and the gradient allreduce joins the train
+stage — every ``staleness + 1`` rounds when bounded-staleness
+accumulation is on.
+
+The returned spans reconcile exactly: the last executed interval ends
+at the returned makespan, and the per-stage stall spans (the new
+``stalls`` timeline lane) never extend past it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.pipeline.graph import stage_graph_makespan
+from repro.pipeline.spec import PipelineSpec
+
+#: Stage name -> timeline lane of the pipelined layout.
+STAGE_LANES = {
+    "sample": "sampler",
+    "memory_io": "io",
+    "network": "network",
+    "train": "trainers",
+}
+
+
+def sync_round_flags(rounds: int, staleness: int) -> list:
+    """Which rounds end in a synchronizing allreduce.
+
+    ``staleness = 0`` syncs every round (today's semantics); ``k`` lets
+    gradients accumulate locally for up to ``k`` extra rounds, syncing
+    every ``k + 1`` rounds — and always after the final round, so the
+    epoch never ends with unsynchronized gradients.
+    """
+    if rounds <= 0:
+        return []
+    period = staleness + 1
+    flags = [(r + 1) % period == 0 for r in range(rounds)]
+    flags[-1] = True
+    return flags
+
+
+def pipelined_epoch_layout(
+    samples: Sequence[float],
+    ios: Sequence[float],
+    nets: Sequence[float],
+    computes: Sequence[float],
+    *,
+    sync: float,
+    net_sync: float,
+    pipeline: PipelineSpec,
+    label: str = "epoch",
+) -> tuple:
+    """Lay one epoch's rounds out through the stage graph.
+
+    ``samples``/``ios``/``nets``/``computes`` are per-round stage
+    seconds (already reduced across trainer lanes by the framework's
+    ``_pipeline_stage_times`` hook). Returns ``(epoch_seconds, spans,
+    info)`` where ``spans`` is the timeline (work spans per stage lane
+    plus ``cat="stall"`` spans in the ``stalls`` lane) and ``info`` is
+    the accounting dict stored under ``extras["pipeline"]``:
+    per-stage totals, stall seconds, the sync-round count, and the
+    ``max(stage totals) + fill`` lower-bound estimate the overlap gate
+    compares against.
+    """
+    rounds = len(samples)
+    flags = sync_round_flags(rounds, pipeline.staleness)
+    sync_per_round = [(sync + net_sync) if flag else 0.0 for flag in flags]
+    trains = [computes[r] + sync_per_round[r] for r in range(rounds)]
+
+    # The halo stage only exists on cluster runs: a permanently zero-
+    # length stage would silently add an extra buffer edge (more
+    # run-ahead) without modeling anything.
+    include_net = any(t > 0 for t in nets)
+    names = ["sample", "memory_io"]
+    stage_times = [list(samples), list(ios)]
+    if include_net:
+        names.append("network")
+        stage_times.append(list(nets))
+    names.append("train")
+    stage_times.append(trains)
+
+    records: list = []
+    stall_records: list = []
+    makespan = stage_graph_makespan(
+        stage_times,
+        names=names,
+        queue_depth=pipeline.queue_depth,
+        record=records.append,
+        stall_record=stall_records.append,
+        pipeline_label=label,
+    )
+
+    spans: list = []
+    for stage, batch, start, end in records:
+        if stage != "train":
+            if end <= start:
+                continue
+            spans.append({
+                "lane": STAGE_LANES[stage], "name": f"{stage}[{batch}]",
+                "cat": stage, "start": start, "dur": end - start,
+                "batch": batch,
+            })
+            continue
+        # The train interval carries compute then the round's gradient
+        # sync (intra-node allreduce, then the inter-node hop), carved
+        # out of the recorded stage interval so reconciliation holds.
+        cursor = start
+        comp = computes[batch]
+        if comp > 0:
+            spans.append({
+                "lane": "trainers", "name": f"compute[{batch}]",
+                "cat": "compute", "start": cursor, "dur": comp,
+                "batch": batch,
+            })
+            cursor += comp
+        if flags[batch] and sync > 0:
+            spans.append({
+                "lane": "trainers", "name": f"allreduce[{batch}]",
+                "cat": "allreduce", "start": cursor, "dur": sync,
+                "batch": batch,
+            })
+            cursor += sync
+        if flags[batch] and net_sync > 0:
+            spans.append({
+                "lane": "trainers", "name": f"allreduce_net[{batch}]",
+                "cat": "network", "start": cursor, "dur": net_sync,
+                "batch": batch,
+            })
+    stall_seconds = {name: 0.0 for name in names}
+    for stage, batch, start, end in stall_records:
+        if end <= start:
+            continue
+        stall_seconds[stage] += end - start
+        spans.append({
+            "lane": "stalls", "name": f"stall:{stage}[{batch}]",
+            "cat": "stall", "start": start, "dur": end - start,
+            "batch": batch, "stage": stage,
+        })
+
+    totals = {name: float(sum(t)) for name, t in zip(names, stage_times)}
+    bottleneck = max(totals, key=totals.get)
+    fill = sum(stage_times[s][0] for s, name in enumerate(names)
+               if name != bottleneck)
+    info = {
+        "mode": pipeline.mode,
+        "queue_depth": pipeline.queue_depth,
+        "staleness": pipeline.staleness,
+        "stage_totals": totals,
+        "stall_seconds": stall_seconds,
+        "num_syncs": int(sum(flags)),
+        "serial_seconds": float(sum(totals.values())),
+        "fill_seconds": float(fill),
+        "bound_seconds": float(totals[bottleneck] + fill),
+    }
+    return makespan, spans, info

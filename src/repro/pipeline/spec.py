@@ -1,0 +1,115 @@
+"""Execution specs: the one bundle of knobs a run carries.
+
+:class:`PipelineSpec` describes *how* an epoch's phases are scheduled —
+phase-sequential per mini-batch (the classic driver) or overlapped
+through the bounded stage-graph pipeline of :mod:`repro.pipeline.graph`
+— and :class:`ExecutionSpec` bundles every execution-environment knob
+the front door used to scatter across keyword arguments (``cluster=``,
+``jobs=``, ambient fault plans, GPU spec overrides) into one frozen,
+hashable value that :func:`repro.api.run`, :func:`repro.api.serve` and
+:meth:`repro.frameworks.base.Framework.run_epoch` all accept uniformly.
+
+Both are frozen dataclasses: safe as dict keys (the experiment runner
+memoizes on them) and safe to share across forked worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Allowed pipeline modes.
+PIPELINE_MODES = ("off", "pipelined")
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """How an epoch's sample/transfer/compute phases are scheduled.
+
+    ``mode="off"`` keeps the classic driver: each framework lays its
+    epoch out exactly as before (lockstep phase-sequential rounds, or
+    the intrinsic producer/consumer pipelines of GNNLab and the
+    out-of-core tier) — bit-identical to runs that never mention a
+    pipeline. ``mode="pipelined"`` drives the epoch through the full
+    stage graph instead: batch ``i+2`` samples while ``i+1`` transfers
+    (a double-buffered lane at the default ``queue_depth=2``) and ``i``
+    trains, with cluster halo exchange overlapping compute as its own
+    stage.
+    """
+
+    #: ``"off"`` (phase-sequential, the default) or ``"pipelined"``.
+    mode: str = "off"
+    #: Bounded-buffer capacity of each stage-to-stage queue: how many
+    #: batches one stage may run ahead of the next. 2 = double buffering.
+    queue_depth: int = 2
+    #: Rounds gradients may accumulate before a synchronizing allreduce
+    #: (bounded staleness). 0 syncs every round; ``k`` syncs every
+    #: ``k+1`` rounds (and always after the final round).
+    staleness: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in PIPELINE_MODES:
+            raise ValueError(
+                f"pipeline mode must be one of {PIPELINE_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.staleness < 0:
+            raise ValueError("staleness must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """True when the overlapped stage-graph driver is selected."""
+        return self.mode == "pipelined"
+
+
+#: The default: classic phase-sequential scheduling.
+PIPELINE_OFF = PipelineSpec()
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """Everything about *where and how* a run executes, in one value.
+
+    Bundles the knobs that used to ride as scattered keyword arguments
+    (``api.run(spec=..., cluster=...)``, ``run_epoch(..., jobs=...)``,
+    fault plans installed ambiently around the call) plus the new
+    pipeline controls. The model/dataset/cost knobs stay in
+    :class:`~repro.config.RunConfig`; this spec is orthogonal to them —
+    the same config can run sequentially on one node or pipelined
+    across a simulated cluster by swapping only the ``ExecutionSpec``.
+    """
+
+    #: Optional :class:`~repro.cluster.spec.ClusterSpec` scaling the run
+    #: across simulated machines (``RunConfig`` then describes one node).
+    cluster: object | None = None
+    #: Worker processes for the per-trainer lanes (see
+    #: :mod:`repro.parallel`); 1 = in-process, 0 = all cores.
+    jobs: int = 1
+    #: Optional :class:`~repro.faults.FaultPlan` installed for the span
+    #: of the run (replaces wrapping the call in ``fault_scope`` by
+    #: hand; an ambient scope still works when this is ``None``).
+    faults: object | None = None
+    #: Optional :class:`~repro.gpu.spec.GPUSpec` override, applied when
+    #: the framework is given by registry name or class (an already-
+    #: constructed instance keeps its own spec).
+    gpu_spec: object | None = None
+    #: Epoch scheduling (see :class:`PipelineSpec`). A bare mode string
+    #: (``"off"`` / ``"pipelined"``) is promoted to a spec.
+    pipeline: PipelineSpec = field(default=PIPELINE_OFF)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.pipeline, str):
+            object.__setattr__(self, "pipeline",
+                               PipelineSpec(mode=self.pipeline))
+        elif not isinstance(self.pipeline, PipelineSpec):
+            raise TypeError(
+                "pipeline must be a PipelineSpec or a mode string, got "
+                f"{type(self.pipeline).__name__}"
+            )
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = all cores)")
+
+
+#: The default execution: single node, in-process lanes, pipeline off.
+DEFAULT_EXECUTION = ExecutionSpec()

@@ -21,6 +21,7 @@ from repro.cluster import ClusterSpec
 from repro.config import RunConfig
 from repro.frameworks import create
 from repro.frameworks.registry import available_frameworks
+from repro.pipeline import ExecutionSpec
 
 RECONCILE_TOL = 1e-6
 
@@ -44,7 +45,7 @@ class TestOneNodeIsIdentity:
                                        model_name="gcn")
         one_node = create(name).run_epoch(
             conformance_dataset, config, model_name="gcn",
-            cluster=ClusterSpec(num_nodes=1),
+            execution=ExecutionSpec(cluster=ClusterSpec(num_nodes=1)),
         )
         assert one_node.epoch_time == plain.epoch_time
         assert one_node.losses == plain.losses
@@ -62,7 +63,7 @@ class TestOneNodeIsIdentity:
                                                conformance_dataset):
         report = create(name).run_epoch(
             conformance_dataset, _run_config(), model_name="gcn",
-            cluster=ClusterSpec(num_nodes=1),
+            execution=ExecutionSpec(cluster=ClusterSpec(num_nodes=1)),
         )
         cluster = report.extras["cluster"]
         assert cluster["num_nodes"] == 1
@@ -80,7 +81,7 @@ class TestTwoNodeAccounting:
         if name not in _TWO_NODE_REPORTS:
             _TWO_NODE_REPORTS[name] = create(name).run_epoch(
                 conformance_dataset, _run_config(), model_name="gcn",
-                cluster=ClusterSpec(num_nodes=2),
+                execution=ExecutionSpec(cluster=ClusterSpec(num_nodes=2)),
             )
         return _TWO_NODE_REPORTS[name]
 

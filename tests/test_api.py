@@ -13,7 +13,6 @@ from repro.frameworks import (
     FastGLFramework,
     available_frameworks,
     create,
-    get_framework,
     register,
     resolve,
     unregister,
@@ -76,17 +75,52 @@ class TestRegistry:
         assert isinstance(by_class, FastGLFramework)
         assert resolve(instance) is instance
 
-    def test_get_framework_shim_warns_once(self):
-        registry_module._DEPRECATION_WARNED.discard(
-            "repro.frameworks.get_framework()")
+    def test_get_framework_shim_removed(self):
+        import repro
+        import repro.frameworks as frameworks_module
+
+        assert not hasattr(frameworks_module, "get_framework")
+        assert not hasattr(repro, "get_framework")
+
+    def test_run_cluster_kwarg_shim_warns_once(self, dataset, config):
+        from repro.cluster.spec import ClusterSpec
+
+        registry_module._DEPRECATION_WARNED.discard("api.run(cluster=...)")
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            get_framework("dgl")
-            get_framework("dgl")
+            legacy = api.run("dgl", dataset, config=config,
+                             cluster=ClusterSpec(num_nodes=1))
+            api.run("dgl", dataset, config=config,
+                    cluster=ClusterSpec(num_nodes=1))
         deprecations = [w for w in caught
                         if issubclass(w.category, DeprecationWarning)]
         assert len(deprecations) == 1
-        assert "create" in str(deprecations[0].message)
+        assert "ExecutionSpec" in str(deprecations[0].message)
+        via_exec = api.run(
+            "dgl", dataset, config=config,
+            exec=api.ExecutionSpec(cluster=ClusterSpec(num_nodes=1)),
+        )
+        assert legacy.epoch_time == via_exec.epoch_time
+
+    def test_run_rejects_exec_plus_legacy_kwargs(self, dataset, config):
+        from repro.cluster.spec import ClusterSpec
+
+        with pytest.raises(TypeError, match="ExecutionSpec"):
+            api.run("dgl", dataset, config=config,
+                    exec=api.ExecutionSpec(),
+                    cluster=ClusterSpec(num_nodes=1))
+
+    def test_run_epoch_jobs_kwarg_shim_warns_once(self, dataset, config):
+        registry_module._DEPRECATION_WARNED.discard(
+            "Framework.run_epoch(jobs=...)")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            create("dgl").run_epoch(dataset, config, jobs=1)
+            create("dgl").run_epoch(dataset, config, jobs=1)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "ExecutionSpec" in str(deprecations[0].message)
 
 
 class TestRunFacade:

@@ -283,7 +283,7 @@ class TestRunWithCluster:
             "dgl", dataset,
             config=RunConfig(batch_size=64, fanouts=(3, 3), num_gpus=2,
                              seed=1),
-            cluster=ClusterSpec(num_nodes=2),
+            exec=api.ExecutionSpec(cluster=ClusterSpec(num_nodes=2)),
         )
 
     def test_network_phase_populated(self, report):

@@ -30,12 +30,12 @@ def test_sampling_surface(tiny_dataset):
 
 
 def test_framework_surface(tiny_dataset):
-    from repro import get_framework
+    from repro import create
 
     config = RunConfig(batch_size=64, fanouts=(3, 4), num_gpus=2,
                        hidden_dim=8)
-    report = get_framework("fastgl").run_epoch(tiny_dataset, config,
-                                               model_name="gcn")
+    report = create("fastgl").run_epoch(tiny_dataset, config,
+                                        model_name="gcn")
     assert report.epoch_time > 0
     assert set(report.phases.fractions()) == {"sample", "memory_io",
                                               "compute"}
@@ -94,14 +94,14 @@ def test_gpu_surface():
 
 
 def test_cost_override_surface(tiny_dataset):
-    from repro import get_framework
+    from repro import create
 
     slow_atomics = DEFAULT_COST_MODEL.scaled(atomic_ops_per_s=1e7)
     config = RunConfig(batch_size=64, fanouts=(3,), num_gpus=1,
                        hidden_dim=8, cost=slow_atomics)
     base = RunConfig(batch_size=64, fanouts=(3,), num_gpus=1, hidden_dim=8)
-    slow = get_framework("dgl").run_epoch(tiny_dataset, config)
-    fast = get_framework("dgl").run_epoch(tiny_dataset, base)
+    slow = create("dgl").run_epoch(tiny_dataset, config)
+    fast = create("dgl").run_epoch(tiny_dataset, base)
     assert slow.phases.idmap > fast.phases.idmap
 
 

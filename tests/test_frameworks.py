@@ -11,8 +11,8 @@ from repro.frameworks import (
     GNNAdvisorFramework,
     GNNLabFramework,
     PyGFramework,
+    create,
     fastgl_variant,
-    get_framework,
 )
 
 
@@ -29,10 +29,10 @@ class TestRegistry:
             "dgl-ooc", "fastgl-ooc",
         }
 
-    def test_get_framework(self):
-        assert isinstance(get_framework("dgl"), DGLFramework)
+    def test_create(self):
+        assert isinstance(create("dgl"), DGLFramework)
         with pytest.raises(KeyError):
-            get_framework("tensorflow")
+            create("tensorflow")
 
 
 class TestStrategyBundles:
@@ -73,7 +73,7 @@ class TestStrategyBundles:
 class TestRunEpoch:
     @pytest.mark.parametrize("name", sorted(FRAMEWORKS))
     def test_epoch_report_sane(self, name, tiny_dataset, config):
-        report = get_framework(name).run_epoch(tiny_dataset, config)
+        report = create(name).run_epoch(tiny_dataset, config)
         assert report.framework == name
         assert report.num_batches == 10  # 600 train ids / 64
         assert report.epoch_time > 0

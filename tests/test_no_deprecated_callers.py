@@ -1,0 +1,104 @@
+"""No in-repo caller may use the deprecated compatibility shims.
+
+The shims (``api.run(spec=/cluster=)``, ``run_epoch(jobs=/cluster=)``)
+exist for *external* callers mid-migration; everything inside this
+repository must already speak :class:`~repro.pipeline.ExecutionSpec`.
+CI runs this module explicitly in the pipeline-smoke job so a stray
+reintroduction fails loudly, not just as a runtime warning.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+#: Files allowed to mention shimmed keywords: the shim definitions
+#: themselves and their documentation.
+ALLOWED = {
+    SRC / "repro" / "api.py",
+    SRC / "repro" / "frameworks" / "base.py",
+    SRC / "repro" / "frameworks" / "registry.py",
+    SRC / "repro" / "pipeline" / "spec.py",
+}
+
+def _strip_comment(line: str) -> str:
+    return line.split("#", 1)[0]
+
+
+def _multiline_calls(text: str, callee: str):
+    """Yield the argument text of every ``callee(...)`` call, matching
+    across line breaks (call sites wrap arguments freely)."""
+    for match in re.finditer(rf"\b{callee}\s*\(", text):
+        depth = 1
+        start = match.end()
+        pos = start
+        while pos < len(text) and depth:
+            if text[pos] == "(":
+                depth += 1
+            elif text[pos] == ")":
+                depth -= 1
+            pos += 1
+        yield text[start:pos - 1]
+
+
+def _without_nested_specs(args: str) -> str:
+    """Blank out nested ``ExecutionSpec(...)``/``ClusterSpec(...)``
+    bodies: ``cluster=`` *inside a spec constructor* is the migrated
+    form, not the shim."""
+    for ctor in ("ExecutionSpec", "ClusterSpec", "_exec", "_spec"):
+        while True:
+            bodies = list(_multiline_calls(args, ctor))
+            if not bodies:
+                break
+            for body in bodies:
+                args = args.replace(f"{ctor}({body}", f"{ctor}(", 1)
+            if not any(bodies):
+                break
+    return args
+
+
+def test_no_deprecated_callers_in_src():
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        text = path.read_text()
+        stripped = "\n".join(_strip_comment(ln) for ln in
+                             text.splitlines())
+        if re.search(r"\bget_framework\s*\(", stripped):
+            violations.append(f"{path.relative_to(REPO)}: get_framework")
+        for callee in ("run_epoch", "epoch_report"):
+            for args in _multiline_calls(stripped, callee):
+                args = _without_nested_specs(args)
+                if re.search(r"\b(jobs|cluster)\s*=", args):
+                    violations.append(
+                        f"{path.relative_to(REPO)}: "
+                        f"{callee} legacy kwarg")
+        for args in _multiline_calls(stripped, r"(?:api\.)?run"):
+            args = _without_nested_specs(args)
+            if re.search(r"(?<!gpu_)\bspec\s*=", args) or \
+                    re.search(r"\bcluster\s*=", args):
+                # api.run(spec=...) / run(cluster=...) shims.
+                violations.append(
+                    f"{path.relative_to(REPO)}: api.run legacy kwarg")
+    assert not violations, (
+        "deprecated shim usage inside src/ — migrate these call sites "
+        "to ExecutionSpec:\n" + "\n".join(violations)
+    )
+
+
+def test_shims_still_exist_for_external_callers():
+    """The inverse guard: the shims this test bans internally must keep
+    working externally until the next major version."""
+    import inspect
+
+    from repro import api
+    from repro.frameworks.base import Framework
+
+    run_params = inspect.signature(api.run).parameters
+    assert "spec" in run_params and "cluster" in run_params
+    epoch_params = inspect.signature(Framework.run_epoch).parameters
+    assert "jobs" in epoch_params and "cluster" in epoch_params

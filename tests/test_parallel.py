@@ -15,6 +15,7 @@ from repro.frameworks import FastGLFramework
 from repro.obs import get_registry, set_registry
 from repro.obs.exporters import flatten_snapshot, to_snapshot
 from repro.obs.registry import MetricsRegistry
+from repro.pipeline import ExecutionSpec
 from repro.parallel import (
     ParallelExecutor,
     ParallelTaskError,
@@ -162,8 +163,9 @@ class TestEpochLaneDeterminism:
         previous = get_registry()
         set_registry(parent)
         try:
-            report = FastGLFramework().run_epoch(tiny_dataset, config,
-                                                 jobs=jobs)
+            report = FastGLFramework().run_epoch(
+                tiny_dataset, config,
+                execution=ExecutionSpec(jobs=jobs))
         finally:
             set_registry(previous)
         return report, flatten_snapshot(to_snapshot(parent))

@@ -18,6 +18,7 @@ from repro.obs import get_registry, set_registry
 from repro.obs.exporters import flatten_snapshot, to_snapshot
 from repro.obs.registry import MetricsRegistry
 from repro.parallel import ParallelExecutor, fork_available
+from repro.pipeline import ExecutionSpec
 
 needs_fork = pytest.mark.skipif(not fork_available(),
                                 reason="requires fork start method")
@@ -98,13 +99,9 @@ class TestEpochChaosDeterminism:
         previous = get_registry()
         set_registry(parent)
         try:
-            if plan is not None:
-                with fault_scope(plan):
-                    report = FastGLFramework().run_epoch(
-                        tiny_dataset, config, jobs=jobs)
-            else:
-                report = FastGLFramework().run_epoch(
-                    tiny_dataset, config, jobs=jobs)
+            report = FastGLFramework().run_epoch(
+                tiny_dataset, config,
+                execution=ExecutionSpec(jobs=jobs, faults=plan))
         finally:
             set_registry(previous)
         return report, flatten_snapshot(to_snapshot(parent))
