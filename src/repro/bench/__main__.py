@@ -32,15 +32,29 @@ import sys
 from repro.bench.kernels import KERNELS, REFERENCE_SIZES, SIZES
 
 
-def run_bench(kernels=None, quick: bool = False, repeats: int = 3,
-              seed: int = 0, legacy: bool = False) -> dict:
-    """Run the selected kernels; returns the BENCH document."""
+def run_bench(kernels=None, quick: bool = False, medium: bool = False,
+              repeats: int = 3, seed: int = 0, legacy: bool = False) -> dict:
+    """Run the selected kernels; returns the BENCH document.
+
+    Size tiers nest: ``--quick`` runs ``small`` only, ``--medium`` adds
+    the ``medium`` sizes (the acceptance sizes of the blocked-reorder
+    and IPC-bytes gates — 256 batches x 4k nodes — kept cheap enough for
+    CI), the default runs everything a kernel defines. Kernels without a
+    given tier are simply skipped at it.
+    """
     names = list(kernels) if kernels else list(KERNELS)
-    sizes = ("small",) if quick else ("small", "large")
+    if quick:
+        sizes = ("small",)
+    elif medium:
+        sizes = ("small", "medium")
+    else:
+        sizes = ("small", "medium", "large")
     records = []
     for name in names:
         fn = KERNELS[name]
         for size in sizes:
+            if size not in SIZES[name]:
+                continue
             records.append(fn(size, repeats, seed))
     if legacy:
         from repro.core.reorder import match_degree_matrix_legacy
@@ -60,6 +74,7 @@ def run_bench(kernels=None, quick: bool = False, repeats: int = 3,
     return {
         "version": 1,
         "quick": bool(quick),
+        "medium": bool(medium),
         "seed": int(seed),
         "repeats": int(repeats),
         "python": platform.python_version(),
@@ -147,7 +162,20 @@ def build_bench_baseline(doc: dict, speedup_floor_fraction: float = 0.4,
     flat = flatten_bench(doc)
     metrics = {}
     for name, value in sorted(flat.items()):
-        if ":work." in name:
+        if name.endswith("work.ipc_reduction"):
+            # The zero-copy transport gate: byte arithmetic, not wall
+            # clock, so the measured reduction is machine-independent —
+            # but pickle framing can shift a little across Python
+            # versions, so it gets a floor (never below the accepted
+            # 10x) instead of an exact pin.
+            metrics[name] = {
+                "min": round(max(10.0, value * speedup_floor_fraction), 2)
+            }
+        elif ":work." in name and name.endswith("_bytes"):
+            # Raw transport byte counts drift with pickle framing
+            # details; the gated quantity is the reduction above.
+            continue
+        elif ":work." in name:
             metrics[name] = {"value": value}
         elif ":speedup_vs_" in name:
             metrics[name] = {
@@ -180,6 +208,10 @@ def main(argv=None) -> int:
                              f"{sorted(KERNELS)})")
     parser.add_argument("--quick", action="store_true",
                         help="small sizes only (CI smoke)")
+    parser.add_argument("--medium", action="store_true",
+                        help="small + medium sizes (CI perf gate: "
+                             "includes the 256x4k reorder and the "
+                             "jobs=4 IPC-bytes acceptance workloads)")
     parser.add_argument("--legacy", action="store_true",
                         help="also record the legacy reference "
                              "implementations as standalone entries")
@@ -210,8 +242,8 @@ def main(argv=None) -> int:
                      f"available: {sorted(KERNELS)}")
 
     doc = run_bench(kernels=args.kernels, quick=args.quick,
-                    repeats=args.repeats, seed=args.seed,
-                    legacy=args.legacy)
+                    medium=args.medium, repeats=args.repeats,
+                    seed=args.seed, legacy=args.legacy)
     _print_table(doc)
     with open(args.out, "w") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)

@@ -7,11 +7,17 @@ exists — the reference time and speedup. Wall-clock numbers vary by
 machine; the work counters are seeded and bit-stable, which is what the
 baseline gate pins (see :mod:`repro.bench.__main__`).
 
-The six kernels cover the per-batch hot path end to end:
+The eight kernels cover the per-batch hot path end to end:
 
 * ``match_degree_matrix`` — the Reorder strategy's pairwise overlap
   product (vs the legacy O(n^2) ``np.intersect1d`` loop);
 * ``greedy_reorder`` — Algorithm 1 chaining from raw node sets;
+* ``reorder_blocked`` — the blocked top-k reorder pipeline (pair-counted
+  matrix + candidate-block chain) vs the kept legacy path
+  (``match_degree_matrix_legacy`` + full argmax sweep), orders asserted
+  identical;
+* ``ipc_bytes`` — the executor's transport: bytes over the worker pipes
+  with the shared-memory arena on vs off, results asserted identical;
 * ``fused_map_insert`` — the batch-vectorized Algorithm 2 hash-table
   insert (vs the exact per-operation oracle);
 * ``neighbor_sampling`` — k-hop uniform sampling with the fused ID map;
@@ -28,6 +34,7 @@ import numpy as np
 
 from repro.core.reorder import (
     greedy_reorder,
+    greedy_reorder_legacy,
     match_degree_matrix,
     match_degree_matrix_legacy,
 )
@@ -51,6 +58,17 @@ SIZES = {
     "greedy_reorder": {
         "small": {"batches": 48, "nodes": 1024, "id_space": 50_000},
         "large": {"batches": 256, "nodes": 4096, "id_space": 200_000},
+    },
+    # The acceptance size for the blocked top-k reorder is the *medium*
+    # tier (256 batches x 4k nodes), so the O(batches^2) regression
+    # surface is exercised by the CI --medium run, not only --full.
+    "reorder_blocked": {
+        "small": {"batches": 48, "nodes": 1024, "id_space": 50_000},
+        "medium": {"batches": 256, "nodes": 4096, "id_space": 200_000},
+    },
+    "ipc_bytes": {
+        "small": {"jobs": 2, "chunks": 4, "rows": 512, "dim": 64},
+        "medium": {"jobs": 4, "chunks": 8, "rows": 2048, "dim": 128},
     },
     "fused_map_insert": {
         "small": {"num_ids": 20_000, "id_space": 60_000},
@@ -81,6 +99,7 @@ SIZES = {
 REFERENCE_SIZES = {
     "match_degree_matrix": ("small", "large"),
     "fused_map_insert": ("small",),
+    "reorder_blocked": ("small", "medium"),
 }
 
 
@@ -157,6 +176,109 @@ def bench_greedy_reorder(size: str, repeats: int, seed: int) -> dict:
         "order_checksum": int(np.dot(np.arange(len(order)), order)),
     }
     return _record("greedy_reorder", size, params, times, work)
+
+
+def bench_reorder_blocked(size: str, repeats: int, seed: int,
+                          with_reference: bool = True) -> dict:
+    """The full blocked top-k reorder pipeline from raw node sets
+    (pair-counted match matrix + candidate-block chain) against the kept
+    legacy path (``match_degree_matrix_legacy`` + full argmax sweep).
+    Orders must be identical — including ties — or the record refuses to
+    report a speedup at all."""
+    params = SIZES["reorder_blocked"][size]
+    node_sets = _node_sets(params, seed)
+    times = _time(
+        lambda: greedy_reorder(node_sets, assume_unique=False), repeats
+    )
+    order = greedy_reorder(node_sets)
+    work = {
+        "batches": params["batches"],
+        "order_checksum": int(np.dot(np.arange(len(order)), order)),
+    }
+    reference = None
+    if with_reference and size in REFERENCE_SIZES["reorder_blocked"]:
+        legacy_times = _time(
+            lambda: greedy_reorder_legacy(node_sets), min(repeats, 2)
+        )
+        legacy_order = greedy_reorder_legacy(node_sets)
+        if legacy_order != order:  # pragma: no cover - pinned by tests
+            raise AssertionError(
+                "blocked reorder diverged from the legacy sweep")
+        work["orders_match"] = 1
+        reference = {
+            "legacy_s": min(legacy_times),
+            "speedup_vs_legacy": min(legacy_times) / min(times),
+        }
+    return _record("reorder_blocked", size, params, times, work, reference)
+
+
+def bench_ipc_bytes(size: str, repeats: int, seed: int) -> dict:
+    """Executor transport bytes: the same ndarray-heavy result payloads
+    shipped through pickled pipes vs the shared-memory arena.
+
+    The byte counts are arithmetic over deterministic payloads, not
+    timings, so ``ipc_reduction`` (pipe bytes without the arena / pipe
+    bytes with it) is machine-independent; the baseline keeps a >= 10x
+    floor under it. Identical results across transports are asserted
+    here and conformance-pinned in the test suite. Timings record the
+    arena run (best); the pipe run's wall clock is reported as
+    ``pipes_s`` but never gated (transport wall-clock is noise-bound at
+    these payload sizes — the bytes are the deliverable)."""
+    from repro.parallel import ParallelExecutor, fork_available
+
+    params = SIZES["ipc_bytes"][size]
+    rows, dim = params["rows"], params["dim"]
+
+    def task(index):
+        rng = np.random.default_rng(seed * 1000 + index)
+        return {
+            "features": rng.standard_normal((rows, dim)).astype(np.float32),
+            "ids": rng.integers(0, 1 << 40, rows),
+            "loss": float(rng.random()),
+        }
+
+    def checksum(results):
+        total = 0.0
+        for record in results:
+            total += float(record["features"].sum())
+            total += float(record["ids"].sum() % (1 << 31))
+            total += record["loss"]
+        return round(total, 3)
+
+    def run(use_arena):
+        executor = ParallelExecutor(jobs=params["jobs"],
+                                    use_arena=use_arena)
+        last: list = []
+
+        def once():
+            last[:] = [executor.map(task, range(params["chunks"]))]
+
+        durations = _time(once, repeats)
+        return durations, last[0], executor.last_transport
+
+    serial = ParallelExecutor(jobs=1).map(task, range(params["chunks"]))
+    work = {
+        "chunks": params["chunks"],
+        "payload_checksum": checksum(serial),
+    }
+    reference = None
+    if fork_available():
+        pipe_times, pipe_results, pipe_stats = run(use_arena=False)
+        arena_times, arena_results, arena_stats = run(use_arena=True)
+        for got in (pipe_results, arena_results):
+            if checksum(got) != work["payload_checksum"]:
+                raise AssertionError("transport changed task results")
+        work["pipe_ipc_bytes"] = pipe_stats.ipc_bytes
+        work["arena_ipc_bytes"] = arena_stats.ipc_bytes
+        work["arena_shm_bytes"] = arena_stats.shm_bytes
+        work["ipc_reduction"] = round(
+            pipe_stats.ipc_bytes / max(arena_stats.ipc_bytes, 1), 2)
+        times = arena_times
+        reference = {"pipes_s": min(pipe_times)}
+    else:  # pragma: no cover - non-fork platforms time the serial path
+        times = _time(lambda: ParallelExecutor(jobs=1).map(
+            task, range(params["chunks"])), repeats)
+    return _record("ipc_bytes", size, params, times, work, reference)
 
 
 def bench_fused_map_insert(size: str, repeats: int, seed: int,
@@ -307,6 +429,8 @@ def bench_halo_gather(size: str, repeats: int, seed: int) -> dict:
 KERNELS = {
     "match_degree_matrix": bench_match_degree_matrix,
     "greedy_reorder": bench_greedy_reorder,
+    "reorder_blocked": bench_reorder_blocked,
+    "ipc_bytes": bench_ipc_bytes,
     "fused_map_insert": bench_fused_map_insert,
     "neighbor_sampling": bench_neighbor_sampling,
     "feature_gather": bench_feature_gather,

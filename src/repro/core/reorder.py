@@ -7,13 +7,24 @@ Consecutive batches then overlap maximally, which the Match process turns
 into saved PCIe traffic.
 
 The match-degree matrix is a training-loop hot path (it runs once per
-reorder window, over every window of the epoch), so it is computed as a
-single sparse membership-matrix product: one ``np.unique`` pass over all
-batches' node IDs yields integer codes, the deduplicated ``(batch, code)``
-pairs form a CSR incidence matrix ``M``, and ``M @ M.T`` counts every
-pairwise overlap at once. :func:`match_degree_matrix_legacy` keeps the
-original O(n^2) ``np.intersect1d`` loop as the reference implementation
+reorder window, over every window of the epoch), so it is computed by
+*pair counting* the sparse Gram product directly: one composite-key sort
+groups every occurrence of a node ID into a contiguous run, and each run
+of ``m`` owning batches contributes its ``C(m, 2)`` batch pairs to a
+single flat ``bincount`` over the ``n * n`` overlap cells. That is
+exactly the non-zero work a sparse ``M @ M.T`` incidence product would
+do, without materialising the incidence matrix (or needing scipy).
+:func:`match_degree_matrix_legacy` keeps the original O(n^2)
+``np.intersect1d`` loop as the reference implementation
 (``python -m repro.bench`` times both and reports the speedup).
+
+The greedy chain itself walks precomputed blocked top-k candidate lists
+(each batch's ``k`` best match partners, sorted by descending degree
+then ascending index) and falls back to a full row scan only when a
+block is exhausted or the winner is ambiguous at the block boundary, so
+the common step is O(k) instead of O(n). The order is bit-identical to
+the kept :func:`greedy_reorder_legacy` argmax sweep, including ties:
+**the lowest batch index wins every tie**, exactly like ``np.argmax``.
 
 Note on fidelity: Algorithm 1 as printed sets ``h = argmax m_zk`` and later
 ``z = k`` — an obvious typo for ``z = h``; this implementation follows the
@@ -28,108 +39,83 @@ from itertools import permutations
 
 import numpy as np
 
-from repro.core.match import match_degree
-
-try:  # scipy is a declared dependency; degrade to blocked-dense without it.
-    from scipy import sparse as _sparse
-except ImportError:  # pragma: no cover - exercised only on scipy-less hosts
-    _sparse = None
-
-#: Code-axis chunk width of the dense fallback Gram product (bounds the
-#: dense membership block at ``n_batches * _DENSE_CHUNK`` float32 cells).
-_DENSE_CHUNK = 16384
+#: Default candidate-block width of the blocked top-k greedy chain.
+#: Each batch precomputes this many best match partners; a step only
+#: falls back to a full row scan when its block is exhausted.
+_TOPK_BLOCK = 32
 
 
-def _overlap_scipy(batch: np.ndarray, values: np.ndarray, n: int,
-                   assume_unique: bool) -> tuple:
-    """``(overlap, sizes)`` via a sparse incidence Gram product.
+def _overlap_paircount(batch: np.ndarray, values: np.ndarray, n: int,
+                       assume_unique: bool) -> tuple:
+    """``(overlap, sizes)`` by pair-counting the sparse Gram product.
 
-    The {0,1} incidence CSR is assembled directly (the concatenation is
-    already batch-major, so ``indptr`` falls out of a ``bincount``) rather
-    than through scipy's COO->CSR conversion, whose per-row column sort is
-    the expensive part. Per-batch deduplication, when needed, is a single
-    composite-key sort over ``batch * width + id`` plus an adjacent-equal
-    mask. The transpose is materialised explicitly with ``.T.tocsr()`` — a
-    linear-time counting sort — so the Gram product runs as a native
-    CSR x CSR ``csr_matmat`` with no hidden format conversion. Overlap
-    counts are <= the batch size, exactly representable in float32, so the
+    One sort of the composite key ``id * p + batch`` (``p`` the next
+    power of two >= ``n``, so the split back into ``(id, batch)`` is a
+    shift and a mask) groups all owners of each node ID contiguously,
+    in ascending batch order; adjacent-equal masking deduplicates
+    repeated IDs within a batch. Runs are then bucketed by multiplicity
+    ``m`` so the ``C(m, 2)`` ordered owner pairs of every run in a
+    bucket come from one fixed-width gather + ``np.triu_indices``
+    expansion, and a single ``bincount`` over ``a * n + b`` keys
+    accumulates the upper-triangle overlap counts. The composite key is
+    built in int32 when the ID width allows (roughly halves the sort
+    cost at the bench sizes); IDs too wide even for int64 composites
+    take a ``np.lexsort`` detour. Overlap counts are integers, so the
     float64 cast is lossless.
     """
     low = values.min()
     if low:
         values = values - low
     width = int(values.max()) + 1
-    if assume_unique:
-        sizes = np.bincount(batch, minlength=n)
-        indptr = np.concatenate(([0], np.cumsum(sizes)))
+    p = 1 << max(1, (n - 1).bit_length())
+    shift = p.bit_length() - 1
+    if width <= (2 ** 31 - 1) // p:
+        codes = (values.astype(np.int32) << shift) + batch.astype(np.int32)
+    elif width <= (2 ** 63 - 1) // p:
+        codes = (values << shift) + batch
+    else:  # composite key would overflow int64: sort the pair directly
+        codes = None
+    if codes is not None:
+        codes = np.sort(codes)
+        if not assume_unique:
+            keep = np.empty(len(codes), dtype=bool)
+            keep[0] = True
+            np.not_equal(codes[1:], codes[:-1], out=keep[1:])
+            codes = codes[keep]
+        owners = (codes & (p - 1)).astype(np.int64)
+        ids = codes >> shift
     else:
-        codes = np.sort(batch * width + values)
-        keep = np.empty(len(codes), dtype=bool)
-        keep[0] = True
-        np.not_equal(codes[1:], codes[:-1], out=keep[1:])
-        codes = codes[keep]
-        # Sorted composite codes put each batch in a contiguous run, so
-        # row pointers are a searchsorted over the batch boundaries and
-        # the column indices come back from one subtraction (no divmod).
-        indptr = np.empty(n + 1, dtype=np.int64)
-        indptr[0] = 0
-        indptr[1:] = np.searchsorted(
-            codes, np.arange(1, n + 1, dtype=np.int64) * width
-        )
-        sizes = np.diff(indptr)
-        values = codes - np.repeat(
-            np.arange(n, dtype=np.int64) * width, sizes
-        )
-    index_dtype = (np.int32
-                   if max(width, len(values)) < np.iinfo(np.int32).max
-                   else np.int64)
-    indptr = indptr.astype(index_dtype, copy=False)
-    incidence = _sparse.csr_matrix(
-        (np.ones(len(values), dtype=np.float32),
-         values.astype(index_dtype, copy=False),
-         indptr),
-        shape=(n, width),
-    )
-    overlap = np.asarray((incidence @ incidence.T.tocsr()).todense(),
-                         dtype=np.float64)
-    return overlap, sizes
-
-
-def _overlap_numpy(batch: np.ndarray, values: np.ndarray, n: int,
-                   assume_unique: bool) -> tuple:
-    """``(overlap, sizes)`` without scipy: one stable sort by node ID
-    orders equal IDs by batch (the concatenation is batch-ordered), so
-    unique-ID codes and per-batch deduplication fall out of
-    adjacent-difference passes; the Gram product runs over dense blocks
-    of the code axis."""
-    total = len(values)
-    order = np.argsort(values, kind="stable")
-    values = values[order]
-    batch = batch[order]
-    new_value = np.empty(total, dtype=bool)
-    new_value[0] = True
-    np.not_equal(values[1:], values[:-1], out=new_value[1:])
-    codes = np.cumsum(new_value) - 1
-    num_codes = int(codes[-1]) + 1
-    if not assume_unique:
-        keep = new_value.copy()
-        keep[1:] |= batch[1:] != batch[:-1]
-        batch = batch[keep]
-        codes = codes[keep]
-    sizes = np.bincount(batch, minlength=n)
-    # IDs private to a single batch cannot contribute to any pairwise
-    # overlap; dropping them shrinks the Gram product's work.
-    code_counts = np.bincount(codes, minlength=num_codes)
-    shared = code_counts[codes] > 1
-    batch = batch[shared]
-    codes = codes[shared]
+        order = np.lexsort((batch, values))
+        ids = values[order]
+        owners = batch[order]
+        if not assume_unique:
+            keep = np.empty(len(ids), dtype=bool)
+            keep[0] = True
+            keep[1:] = (ids[1:] != ids[:-1]) | (owners[1:] != owners[:-1])
+            ids = ids[keep]
+            owners = owners[keep]
+    sizes = np.bincount(owners, minlength=n)
+    new_run = np.empty(len(ids), dtype=bool)
+    new_run[0] = True
+    np.not_equal(ids[1:], ids[:-1], out=new_run[1:])
+    starts = np.flatnonzero(new_run)
+    run_len = np.diff(np.append(starts, len(ids)))
+    key_blocks = []
+    for m in np.unique(run_len):
+        m = int(m)
+        if m < 2:  # IDs private to one batch contribute no pair
+            continue
+        sel = starts[run_len == m]
+        block = owners[sel[:, None] + np.arange(m)]
+        a, b = np.triu_indices(m, 1)
+        # Owners ascend within a run, so every key lands in the upper
+        # triangle; symmetrising at the end restores the full matrix.
+        key_blocks.append((block[:, a] * n + block[:, b]).ravel())
     overlap = np.zeros((n, n), dtype=np.float64)
-    for start in range(0, num_codes, _DENSE_CHUNK):
-        stop = min(start + _DENSE_CHUNK, num_codes)
-        in_chunk = (codes >= start) & (codes < stop)
-        block = np.zeros((n, stop - start), dtype=np.float32)
-        block[batch[in_chunk], codes[in_chunk] - start] = 1.0
-        overlap += block @ block.T
+    if key_blocks:
+        flat = np.bincount(np.concatenate(key_blocks), minlength=n * n)
+        overlap += flat.reshape(n, n)
+        overlap += overlap.T
     return overlap, sizes
 
 
@@ -158,10 +144,7 @@ def match_degree_matrix(node_sets, assume_unique: bool = False) -> np.ndarray:
         return matrix
     values = np.concatenate(arrays)
     batch = np.repeat(np.arange(n, dtype=np.int64), lengths)
-    if _sparse is not None:
-        overlap, sizes = _overlap_scipy(batch, values, n, assume_unique)
-    else:
-        overlap, sizes = _overlap_numpy(batch, values, n, assume_unique)
+    overlap, sizes = _overlap_paircount(batch, values, n, assume_unique)
     min_sizes = np.minimum(sizes[:, None], sizes[None, :])
     valid = min_sizes > 0
     np.divide(overlap, min_sizes, out=matrix, where=valid)
@@ -216,22 +199,109 @@ def _as_match_matrix(matrix_or_node_sets, assume_unique: bool) -> np.ndarray:
     return match_degree_matrix(x, assume_unique=assume_unique)
 
 
-def greedy_reorder(matrix_or_node_sets, assume_unique: bool = False) -> list:
+def _chain_blocked(matrix: np.ndarray, block: int) -> list:
+    """Greedy max-match chain over blocked top-k candidate lists.
+
+    Per row, the ``k + 1`` largest entries (one slot of slack because the
+    zero diagonal may occupy one) are precomputed and sorted by
+    ``(degree desc, index asc)`` — the same total order ``np.argmax``
+    induces, so ties resolve to the lowest index. A step scans its row's
+    block for the first unvisited candidate; that candidate is provably
+    the argmax whenever its degree strictly exceeds the block's boundary
+    value (every out-of-block entry is <= the boundary). On boundary
+    ambiguity or an exhausted block, the step falls back to an exact
+    full-row scan identical to the legacy sweep. Order is therefore
+    bit-identical to :func:`greedy_reorder_legacy` for every input,
+    which the property suite pins.
+    """
+    n = matrix.shape[0]
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+    take = min(n, block + 1)
+    if take >= n:
+        cand = np.argsort(-matrix, axis=1, kind="stable")
+        boundary = np.full(n, -np.inf)
+        vals = np.take_along_axis(matrix, cand, axis=1)
+    else:
+        cand = np.argpartition(matrix, n - take, axis=1)[:, n - take:]
+        vals = np.take_along_axis(matrix, cand, axis=1)
+        by_index = np.argsort(cand, axis=1)
+        cand = np.take_along_axis(cand, by_index, axis=1)
+        vals = np.take_along_axis(vals, by_index, axis=1)
+        by_value = np.argsort(-vals, axis=1, kind="stable")
+        cand = np.take_along_axis(cand, by_value, axis=1)
+        vals = np.take_along_axis(vals, by_value, axis=1)
+        boundary = vals[:, -1]
+    cand_rows = cand.tolist()
+    val_rows = vals.tolist()
+    bound = boundary.tolist()
+    visited = np.zeros(n, dtype=bool)
+    visited[0] = True
+    order = [0]
+    z = 0
+    for _ in range(n - 1):
+        h = -1
+        row_c = cand_rows[z]
+        row_v = val_rows[z]
+        limit = bound[z]
+        for position, candidate in enumerate(row_c):
+            if visited[candidate]:
+                continue
+            if row_v[position] > limit:
+                h = candidate
+            break
+        if h < 0:
+            masked = matrix[z].copy()
+            masked[visited] = -np.inf
+            masked[z] = -np.inf
+            h = int(np.argmax(masked))
+        order.append(h)
+        visited[h] = True
+        z = h
+    return order
+
+
+def greedy_reorder(matrix_or_node_sets, assume_unique: bool = False,
+                   block: int | None = None) -> list:
     """Algorithm 1: greedy max-match chaining starting from batch 0.
 
     Accepts either a precomputed match-degree matrix (square 2-D array)
     or the mini-batch node sets themselves, in which case the matrix is
-    computed internally via the vectorized fast path
+    computed internally via the pair-counting fast path
     (``assume_unique`` is forwarded to :func:`match_degree_matrix`).
 
     Returns the batch indices in execution order. The first batch stays
     first (the paper anchors ``SubG_1``); each subsequent position holds
     the remaining batch with the highest match degree to its predecessor.
+    **Tie-breaking is pinned: the lowest batch index wins**, matching
+    ``np.argmax``'s first-maximum rule, so the order is bit-identical to
+    :func:`greedy_reorder_legacy` (the kept reference sweep). ``block``
+    overrides the top-k candidate width (default ``min(n - 1, 32)``); it
+    is a throughput knob only and never changes the order.
     """
     matrix = _as_match_matrix(matrix_or_node_sets, assume_unique)
+    return _chain_blocked(matrix, block if block else _TOPK_BLOCK)
+
+
+def greedy_reorder_legacy(matrix_or_node_sets,
+                          assume_unique: bool = False) -> list:
+    """Kept reference chain: the O(n^2) full-matrix argmax sweep.
+
+    Node-set inputs go through :func:`match_degree_matrix_legacy` so the
+    whole path is the paper-faithful pairwise formulation — this is the
+    reference timing behind ``reorder_blocked`` in ``python -m
+    repro.bench`` and the oracle the blocked chain is pinned against.
+    Ties resolve to the lowest index (``np.argmax`` scans forward).
+    """
+    x = matrix_or_node_sets
+    if not isinstance(x, np.ndarray) and any(
+            isinstance(entry, np.ndarray) for entry in x):
+        matrix = match_degree_matrix_legacy(x)
+    else:
+        matrix = _as_match_matrix(x, assume_unique)
     n = matrix.shape[0]
-    if matrix.shape != (n, n):
-        raise ValueError("matrix must be square")
     if n == 0:
         return []
     work = matrix.copy()
@@ -249,12 +319,13 @@ def greedy_reorder(matrix_or_node_sets, assume_unique: bool = False) -> list:
 
 def chain_match_score(matrix: np.ndarray, order) -> float:
     """Sum of consecutive match degrees along ``order`` — the quantity the
-    Reorder strategy maximizes (total feature reuse potential)."""
+    Reorder strategy maximizes (total feature reuse potential). Computed
+    as one fancy-indexed pair gather instead of a Python loop."""
     matrix = np.asarray(matrix, dtype=np.float64)
-    order = list(order)
-    return float(
-        sum(matrix[order[i], order[i + 1]] for i in range(len(order) - 1))
-    )
+    index = np.asarray(list(order), dtype=np.intp)
+    if index.size < 2:
+        return 0.0
+    return float(matrix[index[:-1], index[1:]].sum())
 
 
 def optimal_reorder(matrix: np.ndarray, fix_first: bool = True) -> list:

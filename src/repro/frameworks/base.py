@@ -581,6 +581,8 @@ class Framework:
         ):
             lane_jobs = 1
         lane_executor = ParallelExecutor(jobs=lane_jobs)
+        transport_totals = {"mode": "serial", "ipc_bytes": 0,
+                            "shm_bytes": 0, "spilled_bytes": 0}
 
         for epoch in range(max(1, config.num_epochs)):
             batches = plan.batches(rngs.child(f"epoch-shuffle:{epoch}"))
@@ -617,6 +619,11 @@ class Framework:
             # runs the identical fresh-registry protocol, so the merged
             # registry is the same at any job count.
             lane_records = lane_executor.map(lane_task, range(len(chunks)))
+            transport = lane_executor.last_transport
+            transport_totals["mode"] = transport.mode
+            transport_totals["ipc_bytes"] += transport.ipc_bytes
+            transport_totals["shm_bytes"] += transport.shm_bytes
+            transport_totals["spilled_bytes"] += transport.spilled_bytes
 
             per_trainer_iters: list = []  # per trainer: (sample, io, comp)
             per_trainer_retries: list = []  # per trainer: (count, seconds)
@@ -742,7 +749,12 @@ class Framework:
                 obs_phase["network"].observe(net_sync_total)
         extras = {"iterations": iteration_log,
                   "num_trainers": trainers,
-                  "timeline": timeline}
+                  "timeline": timeline,
+                  # Transport-layer accounting of the lane executor
+                  # (zero in serial mode). Like the matching obs
+                  # counters, this is jobs/arena-dependent diagnostics —
+                  # conformance comparisons strip it.
+                  "parallel_transport": transport_totals}
         if pipeline_log:
             extras["pipeline"] = _merge_pipeline_info(pipeline_log)
         if cluster_state is not None:

@@ -1,0 +1,282 @@
+"""Shared-memory arena: the zero-copy substrate under ``--jobs N``.
+
+The fork-pool executor's original transport pickled every result payload
+through a pipe — at epoch scale that means feature blocks and gathered
+rows crossing the kernel twice (serialize + copy). This module provides
+the arena that removes those bytes from the pipes:
+
+* :class:`SharedArena` — one ``multiprocessing.shared_memory`` segment.
+  The parent creates it before forking, so workers inherit the mapping;
+  any process can also :meth:`~SharedArena.attach` by name.
+* :class:`ArenaRef` — the ``(offset, shape, dtype)`` descriptor that
+  crosses the pipe *instead of* the array bytes. ``arena.view(ref)``
+  reconstructs the ndarray as a zero-copy view (or a defensive copy).
+* :class:`BumpAllocator` — a region of the arena with bump allocation.
+  Each worker slot owns a private slab (no cross-process locks, so a
+  worker dying mid-write can never wedge its peers or the parent), reset
+  at every chunk boundary.
+* :func:`swizzle` / :func:`unswizzle` — walk a result structure (dicts,
+  lists, tuples), moving every large ndarray into the arena on the way
+  out and materialising it back on the way in. Arrays that do not fit
+  the slab spill to the pipe inline, so the transport degrades instead
+  of failing.
+
+Determinism contract: the arena is a *transport*, never a semantics
+knob. ``unswizzle`` copies by default, so results are plain ndarrays
+bit-identical to what the pipe transport (or the serial fallback) would
+have produced, and slab reuse can never alias into a result the caller
+already holds.
+
+The feature-matrix / CSR-buffer use case (and ``repro.storage``'s page
+store pool) goes through the same primitives: put the big read-only
+arrays into the arena once, hand descriptors around, view them
+zero-copy from any worker.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Offsets are aligned to cache lines; also satisfies every numpy dtype.
+_ALIGN = 64
+
+#: ndarrays smaller than this ride the pipe inline — a descriptor plus
+#: page-faulting a fresh shm page costs more than pickling a few bytes.
+MIN_ARENA_BYTES = 1024
+
+#: Environment toggle for the executor's default transport: unset means
+#: "auto" (arena on whenever forking), ``0``/``off`` disables it.
+ARENA_ENV_VAR = "REPRO_PARALLEL_ARENA"
+
+#: Default per-worker result slab (bytes); override per executor.
+DEFAULT_SLAB_BYTES = 8 * 1024 * 1024
+
+
+def arena_enabled_default() -> bool:
+    """Resolve :data:`ARENA_ENV_VAR`: on unless explicitly disabled."""
+    value = os.environ.get(ARENA_ENV_VAR, "").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
+@dataclass(frozen=True)
+class ArenaRef:
+    """Descriptor of one ndarray living in a :class:`SharedArena`.
+
+    This — not the bytes — is what crosses the pipe: ``(arena offset,
+    shape, dtype str)`` for a C-contiguous array. ``dtype`` is the numpy
+    dtype string (e.g. ``'<f4'``), which round-trips byte order.
+    """
+
+    offset: int
+    shape: tuple
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+class SharedArena:
+    """One shared-memory segment plus descriptor-based array access."""
+
+    def __init__(self, nbytes: int = 0, name: str | None = None,
+                 create: bool = True) -> None:
+        if create and nbytes <= 0:
+            raise ValueError("a created arena needs a positive size")
+        self._shm = shared_memory.SharedMemory(
+            name=name, create=create, size=nbytes if create else 0)
+        self._owner = bool(create)
+        #: Forked workers inherit the owning object; only the creating
+        #: *process* may unlink, or a worker exit would tear the segment
+        #: out from under the parent.
+        self._owner_pid = os.getpid()
+        self._closed = False
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedArena":
+        """Map an existing arena by name (non-owning)."""
+        return cls(name=name, create=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    @property
+    def buf(self) -> memoryview:
+        return self._shm.buf
+
+    def allocator(self, start: int = 0,
+                  size: int | None = None) -> "BumpAllocator":
+        """A bump allocator over ``[start, start + size)`` of this arena."""
+        return BumpAllocator(self, start, self.nbytes - start
+                             if size is None else size)
+
+    def put(self, array: np.ndarray, offset: int) -> ArenaRef:
+        """Copy ``array`` into the arena at ``offset``; return its ref."""
+        shape = tuple(np.asarray(array).shape)
+        # ascontiguousarray promotes 0-d to 1-d; keep the true shape.
+        array = np.ascontiguousarray(array)
+        if array.dtype.hasobject:
+            raise TypeError("object dtypes cannot live in shared memory")
+        end = offset + array.nbytes
+        if not 0 <= offset <= end <= self.nbytes:
+            raise ValueError(
+                f"allocation [{offset}, {end}) outside arena of "
+                f"{self.nbytes} bytes")
+        destination = np.ndarray(array.shape, dtype=array.dtype,
+                                 buffer=self._shm.buf, offset=offset)
+        destination[...] = array
+        return ArenaRef(offset, shape, array.dtype.str)
+
+    def view(self, ref: ArenaRef, copy: bool = False) -> np.ndarray:
+        """Materialise a descriptor: zero-copy view, or a private copy.
+
+        Callers that outlive the next slab reset (anything returning
+        results upward) must take ``copy=True`` — the executor does.
+        """
+        if ref.offset + ref.nbytes > self.nbytes:
+            raise ValueError(f"descriptor {ref} outside arena of "
+                             f"{self.nbytes} bytes")
+        array = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype),
+                           buffer=self._shm.buf, offset=ref.offset)
+        return array.copy() if copy else array
+
+    def close(self) -> None:
+        """Unmap (and unlink, when owning) the segment. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        if self._owner and os.getpid() == self._owner_pid:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class BumpAllocator:
+    """Bump allocation over a private region of a :class:`SharedArena`.
+
+    Each executor worker slot owns one: allocation is a cursor add (no
+    locks to leak on crash), :meth:`reset` at a chunk boundary reclaims
+    the whole slab at once. A full slab returns ``None`` from
+    :meth:`put` — callers spill to the pipe instead of failing.
+    """
+
+    def __init__(self, arena: SharedArena, start: int, size: int) -> None:
+        if start < 0 or size < 0 or start + size > arena.nbytes:
+            raise ValueError(
+                f"slab [{start}, {start + size}) outside arena of "
+                f"{arena.nbytes} bytes")
+        self.arena = arena
+        self.start = int(start)
+        self.size = int(size)
+        self._cursor = self.start
+
+    @property
+    def used(self) -> int:
+        return self._cursor - self.start
+
+    @property
+    def remaining(self) -> int:
+        return self.start + self.size - self._aligned(self._cursor)
+
+    @staticmethod
+    def _aligned(offset: int) -> int:
+        return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+    def reset(self) -> None:
+        self._cursor = self.start
+
+    def put(self, array: np.ndarray) -> ArenaRef | None:
+        """Copy ``array`` into the slab; ``None`` when it does not fit."""
+        offset = self._aligned(self._cursor)
+        end = offset + int(array.nbytes)
+        if end > self.start + self.size:
+            return None
+        ref = self.arena.put(array, offset)
+        self._cursor = end
+        return ref
+
+
+def swizzle(obj, allocator: BumpAllocator,
+            min_bytes: int = MIN_ARENA_BYTES) -> tuple:
+    """Replace large ndarrays inside ``obj`` with :class:`ArenaRef`\\ s.
+
+    Walks dicts, lists and tuples (incl. namedtuples) recursively;
+    ndarrays of at least ``min_bytes`` whose dtype is shareable move
+    into the allocator's slab. Returns ``(swizzled, moved_bytes,
+    spilled_bytes)`` — ``spilled_bytes`` counts arrays that stayed
+    inline because the slab was full.
+    """
+    moved = 0
+    spilled = 0
+
+    def walk(x):
+        nonlocal moved, spilled
+        if isinstance(x, np.ndarray):
+            if x.dtype.hasobject or x.nbytes < min_bytes:
+                return x
+            ref = allocator.put(x)
+            if ref is None:
+                spilled += int(x.nbytes)
+                return x
+            moved += int(x.nbytes)
+            return ref
+        if isinstance(x, dict):
+            return {key: walk(value) for key, value in x.items()}
+        if isinstance(x, tuple):
+            walked = [walk(value) for value in x]
+            if hasattr(x, "_fields"):  # namedtuple
+                return type(x)(*walked)
+            return tuple(walked)
+        if isinstance(x, list):
+            return [walk(value) for value in x]
+        return x
+
+    return walk(obj), moved, spilled
+
+
+def unswizzle(obj, arena: SharedArena, copy: bool = True):
+    """Materialise every :class:`ArenaRef` inside ``obj`` back into an
+    ndarray. The default ``copy=True`` detaches results from the arena
+    so slab reuse can never mutate them retroactively."""
+
+    def walk(x):
+        if isinstance(x, ArenaRef):
+            return arena.view(x, copy=copy)
+        if isinstance(x, dict):
+            return {key: walk(value) for key, value in x.items()}
+        if isinstance(x, tuple):
+            walked = [walk(value) for value in x]
+            if hasattr(x, "_fields"):
+                return type(x)(*walked)
+            return tuple(walked)
+        if isinstance(x, list):
+            return [walk(value) for value in x]
+        return x
+
+    return walk(obj)

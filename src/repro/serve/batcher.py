@@ -165,5 +165,10 @@ def plan_dispatch_order(batches: list) -> list:
     """
     if len(batches) < 3:
         return list(range(len(batches)))
-    matrix = match_degree_matrix([b.seeds for b in batches])
+    # MicroBatch.seeds is already ``np.unique`` output, so the dedup
+    # pass of the pair-counting matrix kernel can be skipped; the chain
+    # itself runs the blocked top-k walk (bit-identical to the legacy
+    # sweep, lowest index winning ties).
+    matrix = match_degree_matrix([b.seeds for b in batches],
+                                 assume_unique=True)
     return greedy_reorder(matrix)

@@ -8,7 +8,9 @@ from hypothesis import strategies as st
 from repro.core.reorder import (
     chain_match_score,
     greedy_reorder,
+    greedy_reorder_legacy,
     match_degree_matrix,
+    match_degree_matrix_legacy,
     optimal_reorder,
 )
 
@@ -97,12 +99,117 @@ class TestGreedyReorder:
         assert m[0, order[1]] == pytest.approx(m[0].max())
 
 
+def _random_node_sets(count: int, seed: int) -> list:
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 500, size=rng.integers(0, 40))
+            for _ in range(count)]
+
+
+class TestTieBreaking:
+    """The documented tie rule: the lowest batch index wins every tie.
+
+    This is ``np.argmax`` semantics (first occurrence of the maximum)
+    and both the blocked top-k walk and the kept legacy sweep must
+    reproduce it exactly — it is what makes reorders reproducible
+    across machines and transports.
+    """
+
+    def test_constructed_tie_lowest_index_wins(self):
+        # Batches 1, 2 and 3 all tie for the first hop from batch 0;
+        # index 1 must be chosen, then 2, then 3.
+        m = np.zeros((4, 4))
+        for i in (1, 2, 3):
+            m[0, i] = m[i, 0] = 0.5
+        assert greedy_reorder(m) == [0, 1, 2, 3]
+        assert greedy_reorder_legacy(m) == [0, 1, 2, 3]
+
+    def test_all_equal_matrix_is_identity_order(self):
+        m = np.full((6, 6), 0.25)
+        np.fill_diagonal(m, 0.0)
+        expected = list(range(6))
+        assert greedy_reorder(m) == expected
+        assert greedy_reorder_legacy(m) == expected
+
+    def test_tie_consistent_with_optimal_oracle(self):
+        """On a tie-heavy matrix the greedy chain must score exactly
+        what the exhaustive oracle scores for the greedy's own order —
+        i.e. the pinned tie-break picks a well-defined chain, and the
+        same one as the legacy sweep."""
+        rng = np.random.default_rng(7)
+        for n in range(2, 9):
+            m = rng.integers(0, 3, size=(n, n)).astype(float)
+            m = (m + m.T) / 2
+            np.fill_diagonal(m, 0.0)
+            blocked = greedy_reorder(m)
+            legacy = greedy_reorder_legacy(m)
+            assert blocked == legacy
+            best = optimal_reorder(m)
+            assert chain_match_score(m, blocked) <= (
+                chain_match_score(m, best) + 1e-12
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(n=st.integers(0, 24), seed=st.integers(0, 500),
+           levels=st.sampled_from([2, 3, 1000]))
+    def test_blocked_equals_legacy_random_matrices(self, n, seed, levels):
+        """Property: the blocked top-k walk is bit-identical to the kept
+        O(n^2) sweep — ties included (small ``levels`` forces many)."""
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, levels, size=(n, n)).astype(float) / levels
+        m = (m + m.T) / 2
+        if n:
+            np.fill_diagonal(m, 0.0)
+        assert greedy_reorder(m) == greedy_reorder_legacy(m)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(2, 20), seed=st.integers(0, 200),
+           block=st.sampled_from([1, 2, 3, 8, 64]))
+    def test_block_size_never_changes_the_order(self, n, seed, block):
+        m = random_matrix(n, seed)
+        assert greedy_reorder(m, block=block) == greedy_reorder_legacy(m)
+
+
+class TestLegacyOracles:
+    def test_legacy_node_set_path_matches_blocked(self):
+        sets = _random_node_sets(12, seed=3)
+        assert greedy_reorder_legacy(sets) == greedy_reorder(sets)
+
+    def test_matrix_kernels_bit_identical(self):
+        sets = _random_node_sets(20, seed=5)
+        np.testing.assert_array_equal(match_degree_matrix(sets),
+                                      match_degree_matrix_legacy(sets))
+
+    @settings(max_examples=40, deadline=None)
+    @given(count=st.integers(0, 15), seed=st.integers(0, 300))
+    def test_matrix_kernels_bit_identical_property(self, count, seed):
+        sets = _random_node_sets(count, seed)
+        np.testing.assert_array_equal(match_degree_matrix(sets),
+                                      match_degree_matrix_legacy(sets))
+
+
 class TestChainScoreAndOptimal:
     def test_chain_score(self):
         m = random_matrix(4, seed=3)
         order = [0, 2, 1, 3]
         expected = m[0, 2] + m[2, 1] + m[1, 3]
         assert chain_match_score(m, order) == pytest.approx(expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(0, 12), seed=st.integers(0, 100))
+    def test_chain_score_matches_python_loop(self, n, seed):
+        """The vectorized fancy-index sum equals the definitional
+        Python loop over consecutive pairs."""
+        m = random_matrix(max(n, 0), seed)
+        order = list(np.random.default_rng(seed).permutation(n))
+        expected = sum(
+            m[order[i], order[i + 1]] for i in range(len(order) - 1)
+        ) if len(order) >= 2 else 0.0
+        assert chain_match_score(m, order) == pytest.approx(float(expected))
+
+    def test_chain_score_short_chains_are_zero(self):
+        m = random_matrix(3, seed=0)
+        assert chain_match_score(m, []) == 0.0
+        assert chain_match_score(m, [1]) == 0.0
 
     def test_optimal_beats_identity(self):
         m = random_matrix(6, seed=4)

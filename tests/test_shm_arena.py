@@ -1,0 +1,361 @@
+"""Property and integration tests for the shared-memory arena substrate.
+
+The arena is a *transport*: whatever moves through it must come back
+bit-identical to what a pipe (or the serial path) would have produced.
+These suites pin that contract — descriptor round-trips over random
+dtypes/shapes, structure-walking swizzle/unswizzle, slab reset/overflow
+spill, the executor's arena-vs-pipes determinism (including under
+injected worker crashes mid-write), the env-var toggle, and the page
+store's shared buffer pool.
+"""
+
+import collections
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan, FaultSpec, fault_scope, set_fault_plan
+from repro.graph.features import HashFeatureStore
+from repro.parallel import (
+    ARENA_ENV_VAR,
+    ArenaRef,
+    BumpAllocator,
+    ParallelExecutor,
+    SharedArena,
+    arena_enabled_default,
+    fork_available,
+    swizzle,
+    unswizzle,
+)
+from repro.parallel.shm import _ALIGN
+from repro.storage import PageStore
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="requires fork start method")
+
+_DTYPES = ["<f4", "<f8", "<i4", "<i8", "<u2", "|u1", "?"]
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    set_fault_plan(None)
+    yield
+    set_fault_plan(None)
+
+
+def _random_array(data: st.DataObject, max_elems: int = 4096) -> np.ndarray:
+    dtype = np.dtype(data.draw(st.sampled_from(_DTYPES), label="dtype"))
+    ndim = data.draw(st.integers(0, 3), label="ndim")
+    shape = tuple(
+        data.draw(st.integers(0, 16), label=f"dim{i}") for i in range(ndim)
+    )
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    if count > max_elems:
+        shape = (min(max_elems, 8),) * min(ndim, 1)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    seed = data.draw(st.integers(0, 2**31 - 1), label="seed")
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(0, 256, size=count, dtype=np.int64)
+    if dtype.kind == "f":
+        return (raw.astype(dtype) / 8).reshape(shape)
+    if dtype.kind == "b":
+        return (raw % 2 == 0).reshape(shape)
+    return raw.astype(dtype).reshape(shape)
+
+
+class TestArenaRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data())
+    def test_random_arrays_round_trip(self, data):
+        """put -> view returns bit-identical contents for any dtype,
+        shape (including 0-d and zero-length), and byte pattern."""
+        arrays = [
+            _random_array(data)
+            for _ in range(data.draw(st.integers(1, 5), label="count"))
+        ]
+        total = sum(a.nbytes for a in arrays) + _ALIGN * (len(arrays) + 1)
+        with SharedArena(max(total, 1)) as arena:
+            allocator = arena.allocator()
+            refs = [allocator.put(a) for a in arrays]
+            assert all(ref is not None for ref in refs)
+            for array, ref in zip(arrays, refs):
+                assert ref.nbytes == array.nbytes
+                got = arena.view(ref, copy=True)
+                assert got.dtype == array.dtype
+                assert got.shape == array.shape
+                np.testing.assert_array_equal(got, array)
+
+    def test_attach_by_name_sees_same_bytes(self):
+        payload = np.arange(100, dtype=np.float64)
+        with SharedArena(payload.nbytes) as arena:
+            ref = arena.put(payload, 0)
+            other = SharedArena.attach(arena.name)
+            try:
+                np.testing.assert_array_equal(other.view(ref), payload)
+            finally:
+                other.close()
+
+    def test_view_aliasing_vs_copy(self):
+        """copy=False views share the arena bytes (writes are visible
+        through other views); copy=True detaches."""
+        payload = np.zeros(32, dtype=np.int64)
+        with SharedArena(payload.nbytes) as arena:
+            ref = arena.put(payload, 0)
+            alias = arena.view(ref, copy=False)
+            detached = arena.view(ref, copy=True)
+            alias[0] = 99
+            assert arena.view(ref, copy=False)[0] == 99
+            assert detached[0] == 0
+
+    def test_put_rejects_object_dtype_and_out_of_bounds(self):
+        with SharedArena(64) as arena:
+            with pytest.raises(TypeError):
+                arena.put(np.array([object()]), 0)
+            with pytest.raises(ValueError):
+                arena.put(np.zeros(64, dtype=np.int8), 1)
+            with pytest.raises(ValueError):
+                arena.view(ArenaRef(0, (65,), "|i1"))
+
+    def test_close_is_idempotent_and_attachments_survive_nonowner_close(self):
+        arena = SharedArena(128)
+        ref = arena.put(np.arange(4, dtype=np.int32), 0)
+        attached = SharedArena.attach(arena.name)
+        attached.close()
+        attached.close()  # idempotent, and must not unlink the segment
+        np.testing.assert_array_equal(
+            arena.view(ref), np.arange(4, dtype=np.int32))
+        arena.close()
+
+
+class TestBumpAllocator:
+    def test_alignment_reset_and_overflow_spill(self):
+        with SharedArena(4 * _ALIGN) as arena:
+            slab = arena.allocator()
+            first = slab.put(np.zeros(3, dtype=np.int8))
+            second = slab.put(np.zeros(3, dtype=np.int8))
+            assert first.offset % _ALIGN == 0
+            assert second.offset % _ALIGN == 0
+            assert second.offset > first.offset
+            # Slab full -> None, never an exception.
+            assert slab.put(np.zeros(8 * _ALIGN, dtype=np.int8)) is None
+            used_before = slab.used
+            assert used_before > 0
+            slab.reset()
+            assert slab.used == 0
+            # After reset the same offsets are handed out again.
+            assert slab.put(np.zeros(3, dtype=np.int8)).offset == first.offset
+
+    def test_disjoint_slabs_do_not_overlap(self):
+        with SharedArena(4 * _ALIGN) as arena:
+            left = arena.allocator(0, 2 * _ALIGN)
+            right = arena.allocator(2 * _ALIGN, 2 * _ALIGN)
+            a = left.put(np.full(_ALIGN, 1, dtype=np.uint8))
+            b = right.put(np.full(_ALIGN, 2, dtype=np.uint8))
+            assert a.offset + a.nbytes <= b.offset
+            np.testing.assert_array_equal(arena.view(a), 1)
+            np.testing.assert_array_equal(arena.view(b), 2)
+
+    def test_slab_bounds_validated(self):
+        with SharedArena(64) as arena:
+            with pytest.raises(ValueError):
+                BumpAllocator(arena, 0, 128)
+            with pytest.raises(ValueError):
+                BumpAllocator(arena, -1, 8)
+
+
+_Point = collections.namedtuple("_Point", ["ids", "label"])
+
+
+class TestSwizzle:
+    def test_structure_walk_round_trips(self):
+        big = np.arange(2048, dtype=np.float32)
+        small = np.arange(4, dtype=np.int64)
+        objects = np.array([{"k": 1}], dtype=object)
+        payload = {
+            "nested": [(big, small), {"deep": big * 2}],
+            "point": _Point(ids=big.astype(np.int64), label="p"),
+            "objects": objects,
+            "scalar": 7,
+        }
+        with SharedArena(1 << 20) as arena:
+            slab = arena.allocator()
+            swizzled, moved, spilled = swizzle(payload, slab)
+            assert spilled == 0
+            assert moved == big.nbytes * 2 + big.astype(np.int64).nbytes
+            # Large arrays became descriptors; small/object stayed inline.
+            assert isinstance(swizzled["nested"][0][0], ArenaRef)
+            assert isinstance(swizzled["nested"][0][1], np.ndarray)
+            assert isinstance(swizzled["point"].ids, ArenaRef)
+            assert swizzled["objects"] is objects
+            assert swizzled["scalar"] == 7
+            back = unswizzle(swizzled, arena)
+            assert isinstance(back["point"], _Point)
+            np.testing.assert_array_equal(back["nested"][0][0], big)
+            np.testing.assert_array_equal(back["nested"][0][1], small)
+            np.testing.assert_array_equal(back["nested"][1]["deep"], big * 2)
+            np.testing.assert_array_equal(back["point"].ids,
+                                          big.astype(np.int64))
+
+    def test_full_slab_spills_inline(self):
+        big = np.arange(2048, dtype=np.float64)
+        with SharedArena(256) as arena:
+            slab = arena.allocator()
+            swizzled, moved, spilled = swizzle([big, big], slab)
+            assert moved == 0
+            assert spilled == 2 * big.nbytes
+            np.testing.assert_array_equal(swizzled[0], big)
+
+    def test_unswizzle_copy_detaches_from_slab_reuse(self):
+        """The executor's copy=True unswizzle must survive the slab
+        being reset and overwritten afterwards (chunk N+1 reuse)."""
+        big = np.arange(2048, dtype=np.int32)
+        with SharedArena(1 << 16) as arena:
+            slab = arena.allocator()
+            swizzled, _, _ = swizzle({"x": big}, slab)
+            result = unswizzle(swizzled, arena, copy=True)
+            slab.reset()
+            slab.put(np.zeros_like(big))
+            np.testing.assert_array_equal(result["x"], big)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_swizzle_round_trip_random_structures(self, data):
+        arrays = [_random_array(data) for _ in range(3)]
+        payload = {"a": arrays[0], "b": [arrays[1], (arrays[2], "tag")]}
+        with SharedArena(1 << 20) as arena:
+            slab = arena.allocator()
+            swizzled, _, spilled = swizzle(payload, slab, min_bytes=1)
+            assert spilled == 0
+            back = unswizzle(swizzled, arena)
+            np.testing.assert_array_equal(back["a"], arrays[0])
+            np.testing.assert_array_equal(back["b"][0], arrays[1])
+            np.testing.assert_array_equal(back["b"][1][0], arrays[2])
+            assert back["b"][1][1] == "tag"
+
+
+def _feature_task(index, rng):
+    """A chunk body with a payload big enough to ride the arena."""
+    return {
+        "features": rng.standard_normal((64, 32)).astype(np.float32),
+        "ids": rng.integers(0, 1 << 40, 64),
+        "loss": float(rng.random()),
+    }
+
+
+def _oversize_task(index, rng):
+    """~128 KiB of features — larger than the executor's 64 KiB slab
+    floor, so it cannot fit the arena and must spill to the pipe."""
+    return {"features": rng.standard_normal((256, 128)).astype(np.float32)}
+
+
+def _assert_results_equal(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.keys() == b.keys()
+        np.testing.assert_array_equal(a["features"], b["features"])
+        np.testing.assert_array_equal(a["ids"], b["ids"])
+        assert a["loss"] == b["loss"]
+
+
+class TestExecutorTransports:
+    @needs_fork
+    def test_arena_pipes_and_serial_agree(self):
+        serial = ParallelExecutor(jobs=1).map(_feature_task, range(6), seed=5)
+        pipes_exec = ParallelExecutor(jobs=2, use_arena=False)
+        pipes = pipes_exec.map(_feature_task, range(6), seed=5)
+        arena_exec = ParallelExecutor(jobs=2, use_arena=True)
+        arena = arena_exec.map(_feature_task, range(6), seed=5)
+        _assert_results_equal(serial, pipes)
+        _assert_results_equal(serial, arena)
+        assert pipes_exec.last_transport.mode == "pipes"
+        assert arena_exec.last_transport.mode == "arena"
+        # The point of the substrate: payload bytes left the pipes.
+        assert arena_exec.last_transport.ipc_bytes * 10 \
+            < pipes_exec.last_transport.ipc_bytes
+        assert arena_exec.last_transport.shm_bytes > 0
+
+    @needs_fork
+    def test_tiny_slab_spills_but_stays_correct(self):
+        """A payload bigger than the (floored, 64 KiB) slab must spill
+        to the pipe inline — degraded transport, identical results."""
+        serial = ParallelExecutor(jobs=1).map(_oversize_task, range(4),
+                                              seed=9)
+        spilling = ParallelExecutor(jobs=2, use_arena=True,
+                                    arena_bytes=2 * (1 << 16))
+        got = spilling.map(_oversize_task, range(4), seed=9)
+        assert len(got) == len(serial)
+        for a, b in zip(got, serial):
+            np.testing.assert_array_equal(a["features"], b["features"])
+        assert spilling.last_transport.spilled_bytes > 0
+
+    @needs_fork
+    def test_worker_crash_mid_write_arena_results_match_serial(self):
+        """A worker killed after its slab writes began must leave the
+        parent's view consistent: the chunk is reassigned and the final
+        results are bit-identical to a crash-free serial run."""
+        plan = FaultPlan(seed=0, sites={
+            "worker_crash": FaultSpec(probability=1.0, max_failures=1),
+        })
+        serial = ParallelExecutor(jobs=1).map(_feature_task, range(6), seed=3)
+        with fault_scope(plan) as active:
+            crashed = ParallelExecutor(jobs=2, use_arena=True).map(
+                _feature_task, range(6), seed=3)
+            assert active.fired("worker_crash") == 6
+        _assert_results_equal(serial, crashed)
+
+    def test_env_var_toggle(self, monkeypatch):
+        monkeypatch.delenv(ARENA_ENV_VAR, raising=False)
+        assert arena_enabled_default() is True
+        assert ParallelExecutor(jobs=2).use_arena is True
+        for off in ("0", "off", "FALSE", "no"):
+            monkeypatch.setenv(ARENA_ENV_VAR, off)
+            assert arena_enabled_default() is False
+            assert ParallelExecutor(jobs=2).use_arena is False
+        monkeypatch.setenv(ARENA_ENV_VAR, "1")
+        assert arena_enabled_default() is True
+        # Explicit argument always beats the environment.
+        monkeypatch.setenv(ARENA_ENV_VAR, "off")
+        assert ParallelExecutor(jobs=2, use_arena=True).use_arena is True
+
+
+class TestPageStorePool:
+    def test_pooled_reads_are_arena_views_and_bit_identical(self):
+        backing = HashFeatureStore(96, 8, seed=4)
+        plain = PageStore(backing, page_bytes=256)
+        with SharedArena(1 << 20) as arena:
+            pooled = PageStore(backing, page_bytes=256,
+                               pool=arena.allocator())
+            for page_id in range(pooled.num_pages):
+                expected = plain.read_page(page_id)
+                got = pooled.read_page(page_id)
+                np.testing.assert_array_equal(got, expected)
+                # Zero-copy: the rows live in the arena, not a private
+                # buffer.
+                assert got.base is not None
+            assert pooled.pool_bytes > 0
+            assert pooled.pool_spill_bytes == 0
+
+    def test_pool_overflow_spills_to_private_arrays(self):
+        backing = HashFeatureStore(96, 8, seed=4)
+        with SharedArena(max(_ALIGN, 64)) as arena:
+            pooled = PageStore(backing, page_bytes=4096,
+                               pool=arena.allocator())
+            rows = pooled.read_page(0)
+            assert rows is not None
+            assert pooled.pool_spill_bytes > 0
+            np.testing.assert_array_equal(
+                rows, PageStore(backing, page_bytes=4096).read_page(0))
+
+    def test_two_stores_share_one_pool(self):
+        backing = HashFeatureStore(64, 8, seed=2)
+        with SharedArena(1 << 20) as arena:
+            pool = arena.allocator()
+            first = PageStore(backing, page_bytes=256, pool=pool)
+            second = PageStore(backing, page_bytes=256, pool=pool)
+            a = first.read_page(0)
+            b = second.read_page(1)
+            assert a.base is not None and b.base is not None
+            assert pool.used >= a.nbytes + b.nbytes
