@@ -1,0 +1,52 @@
+"""Serving-fleet benches: what match-affinity routing must deliver.
+
+The tentpole gate: on the locality-skewed fleet workload at four
+replicas, match-affinity routing beats BOTH round-robin and JSQ on p99
+latency AND device cache-hit rate simultaneously — the paper's
+inter-batch overlap insight must pay at the fleet layer, not just trade
+locality for queueing.
+"""
+
+from repro.experiments import ext_fleet
+
+
+def test_match_affinity_beats_both_baselines(run_experiment):
+    result = run_experiment(ext_fleet.run_routing)
+    rows = {row[0]: row for row in result.rows}
+    assert set(rows) == {"round-robin", "jsq", "match-affinity"}
+    affinity = rows["match-affinity"]
+    for baseline in ("round-robin", "jsq"):
+        other = rows[baseline]
+        # Strictly better tail latency...
+        assert affinity[2] < other[2], (baseline, affinity[2], other[2])
+        # ...and strictly better device cache-hit rate.
+        assert affinity[4] > other[4], (baseline, affinity[4], other[4])
+    # Nothing crashed in this sweep: clean availability everywhere.
+    for row in rows.values():
+        assert row[5] == 1.0
+        assert row[6] == 0
+
+
+def test_jsq_p99_scales_down_with_replicas(run_experiment):
+    result = run_experiment(ext_fleet.run_scaling)
+    replicas = [row[0] for row in result.rows]
+    p99s = [row[2] for row in result.rows]
+    assert replicas == [1, 2, 4, 8]
+    assert all(b <= a + 1e-9 for a, b in zip(p99s, p99s[1:]))
+    # The shared tier runs warm, and TTL expiry shows up as stale hits.
+    for row in result.rows:
+        assert row[4] > 0.5, "tier hit rate collapsed"
+        assert 0.0 <= row[5] < 0.5
+
+
+def test_chaos_ledger_stays_exact(run_experiment):
+    result = run_experiment(ext_fleet.run_chaos)
+    by_prob = {row[0]: row for row in result.rows}
+    assert by_prob[0.0][1] == 0 and by_prob[0.0][2] == 0
+    # At certainty every original replica dies...
+    assert by_prob[1.0][1] >= 4
+    # ...yet recovery re-routes the stranded work and the autoscaler
+    # restores capacity: availability never dips below 99%.
+    assert by_prob[1.0][6] >= 1
+    for row in result.rows:
+        assert row[4] >= 0.99, row

@@ -50,6 +50,8 @@ from repro.frameworks.registry import (
 )
 from repro.graph.datasets import Dataset, get_dataset
 from repro.pipeline import ExecutionSpec, PipelineSpec
+from repro.serve.fleet import FleetReport, FleetSpec
+from repro.serve.fleet import simulate_fleet as _simulate_fleet
 from repro.serve.server import ServeConfig, ServeReport
 from repro.serve.server import simulate as _simulate
 
@@ -65,6 +67,8 @@ __all__ = [
     "ServeConfig",
     "EpochReport",
     "ServeReport",
+    "FleetSpec",
+    "FleetReport",
 ]
 
 FrameworkLike = Union[str, type, Framework]
@@ -155,8 +159,9 @@ def serve(
     serve_config: Optional[ServeConfig] = None,
     model: str = "gcn",
     exec: Optional[ExecutionSpec] = None,
+    fleet: Optional[FleetSpec] = None,
     spec=None,
-) -> ServeReport:
+) -> Union[ServeReport, FleetReport]:
     """Simulate online inference serving (see :mod:`repro.serve`).
 
     Accepts the same ``framework``/``dataset`` forms as :func:`run`;
@@ -167,11 +172,27 @@ def serve(
     :func:`run`; serving uses its ``gpu_spec`` (the other fields
     describe epoch training and do not apply). ``spec=`` remains as a
     warn-once deprecation shim.
+
+    With ``fleet=FleetSpec(...)`` the simulation runs N replicas behind
+    the spec's router/autoscaler/cache-tier policies and returns a
+    :class:`~repro.serve.fleet.FleetReport` instead (a one-replica
+    round-robin fleet is bit-identical to the default path — the fleet
+    conformance suite pins this).
     """
     execution = _coerce_execution(exec, spec, None, "serve")
     if run_config is None:
         run_config = RunConfig(num_gpus=1)
     data = _coerce_dataset(dataset, run_config.seed)
+    if fleet is not None:
+        return _simulate_fleet(
+            framework,
+            data,
+            run_config=run_config,
+            serve_config=serve_config,
+            fleet=fleet,
+            model=model,
+            spec=execution.gpu_spec,
+        )
     return _simulate(
         framework,
         data,

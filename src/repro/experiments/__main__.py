@@ -82,6 +82,9 @@ EXPERIMENTS = {
                        "run_queue_depths"),
     "ext_pipe_stale": ("repro.experiments.ext_pipeline",
                        "run_staleness"),
+    "ext_fleet_routing": ("repro.experiments.ext_fleet", "run_routing"),
+    "ext_fleet_scale": ("repro.experiments.ext_fleet", "run_scaling"),
+    "ext_fleet_chaos": ("repro.experiments.ext_fleet", "run_chaos"),
 }
 
 

@@ -45,6 +45,7 @@ KNOWN_SITES = (
     "worker_crash",   # worker-process loss (GPU OOM kill, XID, node loss)
     "serve_stall",    # serving-lane stall blowing request deadlines
     "net_stall",      # node-to-node fabric link stall (NIC/spine congestion)
+    "replica_crash",  # serving-replica loss mid-traffic (host/GPU death)
 )
 
 
@@ -138,6 +139,8 @@ class FaultPlan:
                                      delay_s=delay_s),
             "net_stall": FaultSpec(probability=probability,
                                    max_failures=max_failures),
+            "replica_crash": FaultSpec(probability=probability,
+                                       max_failures=max_failures),
         }
         return cls(seed=seed, sites=sites)
 

@@ -23,12 +23,15 @@ or from the command line::
     python -m repro.serve --framework fastgl --framework dgl --rate 800
 """
 
+from repro.serve.autoscale import Autoscaler, AutoscalerConfig, ScaleEvent
 from repro.serve.batcher import (
     MicroBatch,
     MicroBatcher,
     plan_dispatch_order,
     select_next_batch,
 )
+from repro.serve.cache_tier import CacheTier, CacheTierConfig, CacheTierStats
+from repro.serve.fleet import FleetReport, FleetSim, FleetSpec, simulate_fleet
 from repro.serve.profiles import ServiceTimes, ServingProfile
 from repro.serve.request import (
     ARRIVAL_PROCESSES,
@@ -36,11 +39,22 @@ from repro.serve.request import (
     RequestQueue,
     build_schedule,
     bursty_arrivals,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
     poisson_arrivals,
     replay_arrivals,
 )
+from repro.serve.routing import (
+    ROUTER_POLICIES,
+    JoinShortestQueueRouter,
+    MatchAffinityRouter,
+    RoundRobinRouter,
+    Router,
+    build_router,
+)
 from repro.serve.server import (
     LATENCY_BUCKETS,
+    ReplicaEngine,
     ServeConfig,
     ServeReport,
     ServerSim,
@@ -49,21 +63,40 @@ from repro.serve.server import (
 
 __all__ = [
     "ARRIVAL_PROCESSES",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "CacheTier",
+    "CacheTierConfig",
+    "CacheTierStats",
+    "FleetReport",
+    "FleetSim",
+    "FleetSpec",
     "InferenceRequest",
+    "JoinShortestQueueRouter",
     "LATENCY_BUCKETS",
+    "MatchAffinityRouter",
     "MicroBatch",
     "MicroBatcher",
+    "ROUTER_POLICIES",
+    "ReplicaEngine",
     "RequestQueue",
+    "RoundRobinRouter",
+    "Router",
+    "ScaleEvent",
     "ServeConfig",
     "ServeReport",
     "ServerSim",
     "ServiceTimes",
     "ServingProfile",
+    "build_router",
     "build_schedule",
     "bursty_arrivals",
+    "diurnal_arrivals",
+    "flash_crowd_arrivals",
     "plan_dispatch_order",
     "poisson_arrivals",
     "replay_arrivals",
     "select_next_batch",
     "simulate",
+    "simulate_fleet",
 ]

@@ -26,6 +26,10 @@ import sys
 from repro.config import RunConfig
 from repro.obs import instrumented, to_snapshot
 from repro.obs.regress import build_baseline, check, format_violation
+from repro.serve.autoscale import AutoscalerConfig
+from repro.serve.cache_tier import CacheTierConfig
+from repro.serve.fleet import FleetReport, FleetSpec, simulate_fleet
+from repro.serve.routing import ROUTER_POLICIES
 from repro.serve.server import ServeConfig, ServeReport, simulate
 from repro.utils.format import ascii_table
 
@@ -50,9 +54,19 @@ def smoke_dataset():
     return Dataset(spec, seed=0)
 
 
+def fleet_smoke_dataset():
+    """The fleet gate's dataset (see
+    :func:`repro.serve.fleet.fleet_demo_dataset`)."""
+    from repro.serve.fleet import fleet_demo_dataset
+
+    return fleet_demo_dataset()
+
+
 def _get_dataset(name: str, seed: int):
     if name == "smoke":
         return smoke_dataset()
+    if name == "fleet-smoke":
+        return fleet_smoke_dataset()
     from repro.graph.datasets import get_dataset
 
     return get_dataset(name, seed=seed)
@@ -85,6 +99,104 @@ def _publish_summary(registry, report: ServeReport) -> None:
     ):
         registry.gauge(metric, "Serving summary statistic").labels(
             framework=report.framework).set(float(value))
+
+
+def _fleet_row(policy: str, report: FleetReport) -> list:
+    return [
+        policy,
+        len(report.replicas),
+        round(report.p50 * 1e3, 3),
+        round(report.p99 * 1e3, 3),
+        round(report.throughput, 1),
+        f"{report.availability:.1%}",
+        f"{report.device_hit_rate:.1%}",
+        f"{report.tier_hit_rate:.1%}",
+        report.rerouted,
+        report.outage_shed,
+    ]
+
+
+def _publish_fleet_summary(registry, policy: str,
+                           report: FleetReport) -> None:
+    for metric, value in (
+        ("repro_fleet_p50_seconds", report.p50),
+        ("repro_fleet_p99_seconds", report.p99),
+        ("repro_fleet_throughput_rps", report.throughput),
+        ("repro_fleet_device_hit_rate", report.device_hit_rate),
+        ("repro_fleet_tier_hit_rate", report.tier_hit_rate),
+        ("repro_fleet_replicas", float(len(report.replicas))),
+    ):
+        registry.gauge(metric, "Fleet summary statistic").labels(
+            policy=policy).set(float(value))
+
+
+def run_fleet(args, parser) -> tuple:
+    """The ``--fleet`` mode: one framework, every requested router."""
+    framework = (args.framework or ["fastgl"])[0]
+    policies = args.router or list(ROUTER_POLICIES)
+    unknown = [p for p in policies if p not in ROUTER_POLICIES]
+    if unknown:
+        parser.error(f"unknown router(s): {unknown}; "
+                     f"registered: {sorted(ROUTER_POLICIES)}")
+    fanouts = tuple(int(f) for f in args.fanouts.split(",") if f)
+    run_config = RunConfig(num_gpus=1, fanouts=fanouts, seed=args.seed)
+    serve_config = ServeConfig(
+        rate=args.rate,
+        num_requests=args.requests,
+        arrival=args.arrival,
+        seeds_per_request=args.seeds_per_request,
+        max_batch=args.max_batch,
+        batch_window_s=args.window_ms / 1e3,
+        queue_capacity=args.queue_cap,
+        slo_s=args.slo_ms / 1e3,
+        seed=args.seed,
+        num_users=args.users,
+    )
+    dataset = _get_dataset(args.dataset, args.seed)
+
+    reports: dict = {}
+    with instrumented() as registry:
+        for policy in policies:
+            fleet = FleetSpec(
+                num_replicas=args.replicas,
+                router=policy,
+                match_threshold=args.match_threshold,
+                autoscaler=AutoscalerConfig(enabled=args.autoscale),
+                cache=CacheTierConfig(enabled=args.cache_tier),
+            )
+            report = simulate_fleet(framework, dataset,
+                                    run_config=run_config,
+                                    serve_config=serve_config,
+                                    fleet=fleet)
+            reports[policy] = report
+            _publish_fleet_summary(registry, policy, report)
+        snapshot = to_snapshot(registry)
+
+    print(ascii_table(
+        ["router", "replicas", "p50_ms", "p99_ms", "req/s", "avail",
+         "dev_hit", "tier_hit", "rerouted", "outage"],
+        [_fleet_row(policy, reports[policy]) for policy in policies],
+    ))
+
+    failures = 0
+    for policy, report in reports.items():
+        delta = abs(report.timeline_extent - report.makespan)
+        if report.reconciles(RECONCILE_TOL):
+            print(f"{policy}: fleet timeline reconciles with makespan "
+                  f"({report.makespan:.6f}s, |delta| = {delta:.2e})")
+        else:
+            print(f"{policy}: FLEET TIMELINE MISMATCH: extent "
+                  f"{report.timeline_extent!r} vs makespan "
+                  f"{report.makespan!r}", file=sys.stderr)
+            failures += 1
+
+    if "round-robin" in reports and "match-affinity" in reports:
+        rr, ma = reports["round-robin"], reports["match-affinity"]
+        if ma.p99 and rr.p99:
+            print(f"match-affinity over round-robin: "
+                  f"p99 {rr.p99 / ma.p99:.2f}x, device hit "
+                  f"{rr.device_hit_rate:.1%} -> {ma.device_hit_rate:.1%}")
+    return reports, snapshot, failures
 
 
 def main(argv=None) -> int:
@@ -130,7 +242,57 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.02,
                         help="default relative tolerance when writing a "
                              "baseline (default: %(default)s)")
+    parser.add_argument("--fleet", action="store_true",
+                        help="fleet mode: run one framework behind each "
+                             "requested --router and compare policies")
+    parser.add_argument("--replicas", type=int, default=4,
+                        help="fleet replicas at t=0 (default: %(default)s)")
+    parser.add_argument("--router", action="append", default=None,
+                        metavar="POLICY",
+                        help="routing policy (repeatable; default: all "
+                             "registered policies)")
+    parser.add_argument("--users", type=int, default=32,
+                        help="simulated user-population clusters for the "
+                             "fleet workload (default: %(default)s)")
+    parser.add_argument("--match-threshold", type=float, default=0.125,
+                        help="match-affinity score floor before JSQ "
+                             "fallback (default: %(default)s)")
+    parser.add_argument("--autoscale", action="store_true",
+                        help="enable the fleet autoscaler")
+    parser.add_argument("--cache-tier", action="store_true",
+                        help="enable the shared embedding cache tier")
     args = parser.parse_args(argv)
+
+    if args.fleet:
+        reports, snapshot, failures = run_fleet(args, parser)
+        if args.write_baseline:
+            baseline = build_baseline(snapshot,
+                                      default_tolerance=args.tolerance)
+            baseline["suite"] = sorted(reports)
+            with open(args.write_baseline, "w") as handle:
+                json.dump(baseline, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote baseline: {args.write_baseline} "
+                  f"({len(baseline['metrics'])} metrics)")
+            return 0
+        if args.check_baseline:
+            try:
+                with open(args.check_baseline) as handle:
+                    baseline = json.load(handle)
+            except FileNotFoundError:
+                print(f"no baseline at {args.check_baseline}; create one "
+                      "with --write-baseline", file=sys.stderr)
+                return 2
+            violations = check(snapshot, baseline)
+            checked = len(baseline.get("metrics", {}))
+            if violations:
+                print(f"{len(violations)} of {checked} fleet metrics "
+                      "regressed:")
+                for violation in violations:
+                    print("  " + format_violation(violation))
+                return 1
+            print(f"ok: {checked} fleet metrics within tolerance")
+        return 1 if failures else 0
 
     frameworks = args.framework or ["dgl", "fastgl"]
     from repro.frameworks import available_frameworks

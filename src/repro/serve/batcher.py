@@ -134,6 +134,14 @@ class MicroBatcher:
         self._open = []
         return batch
 
+    def drain_open(self) -> list:
+        """Abandon the open batch, returning its requests (replica loss:
+        the fleet re-routes them instead of letting them die with the
+        batcher). No batch ID is consumed; a later window timer finding
+        the batcher empty must not close anything."""
+        requests, self._open = self._open, []
+        return requests
+
 
 def select_next_batch(pending: list, resident_nodes: np.ndarray) -> int:
     """Index of the pending batch with the highest match degree against

@@ -35,6 +35,10 @@ class InferenceRequest:
     #: Filled in by the server simulation.
     completion: float | None = None
     outcome: str = "pending"  # pending | completed | shed | dropped
+    #: Simulated user the query came from (-1 = anonymous population).
+    user_id: int = -1
+    #: Times a fleet re-routed this request after a replica loss.
+    reroutes: int = 0
 
     @property
     def latency(self) -> float:
@@ -93,11 +97,89 @@ def replay_arrivals(times) -> np.ndarray:
     return times
 
 
+def diurnal_arrivals(
+    rate: float,
+    num_requests: int,
+    rng=None,
+    period_s: float = 1.0,
+    amplitude: float = 0.6,
+) -> np.ndarray:
+    """An inhomogeneous Poisson process with a sinusoidal daily cycle.
+
+    The instantaneous rate is ``rate * (1 + amplitude * sin(2*pi*t /
+    period_s))`` — the compressed shape of a planet-scale service's
+    day/night traffic swing (``period_s`` is one simulated "day"). Each
+    gap is drawn at the rate in effect when it opens, so the mean rate
+    stays ``rate`` over whole periods and peaks reach ``(1 + amplitude)``
+    times the trough's load.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be in [0, 1)")
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    rng = ensure_rng(rng)
+    draws = rng.exponential(1.0, size=num_requests)
+    times = np.empty(num_requests, dtype=np.float64)
+    t = 0.0
+    for i in range(num_requests):
+        local = rate * (1.0 + amplitude * np.sin(2.0 * np.pi * t / period_s))
+        t += draws[i] / local
+        times[i] = t
+    return times
+
+
+def flash_crowd_arrivals(
+    rate: float,
+    num_requests: int,
+    rng=None,
+    flash_start_frac: float = 0.4,
+    flash_requests_frac: float = 0.4,
+    flash_factor: float = 10.0,
+) -> np.ndarray:
+    """A Poisson baseline with one flash crowd in the middle.
+
+    ``flash_requests_frac`` of the requests arrive at ``flash_factor``
+    times the baseline rate, starting once ``flash_start_frac`` of the
+    baseline requests have landed — a breaking-news spike hitting a
+    steady service. The autoscaler and chaos experiments key off this
+    shape: the spike is where queues build and a replica loss hurts most.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if not 0.0 <= flash_start_frac < 1.0:
+        raise ValueError("flash_start_frac must be in [0, 1)")
+    if not 0.0 < flash_requests_frac < 1.0:
+        raise ValueError("flash_requests_frac must be in (0, 1)")
+    if flash_factor < 1.0:
+        raise ValueError("flash_factor must be >= 1")
+    rng = ensure_rng(rng)
+    gaps = rng.exponential(1.0 / rate, size=num_requests)
+    flash_len = max(1, int(num_requests * flash_requests_frac))
+    flash_at = int((num_requests - flash_len) * flash_start_frac)
+    gaps[flash_at:flash_at + flash_len] /= flash_factor
+    return np.cumsum(gaps)
+
+
 #: Name -> generator for the CLI / config surface.
 ARRIVAL_PROCESSES = {
     "poisson": poisson_arrivals,
     "bursty": bursty_arrivals,
+    "diurnal": diurnal_arrivals,
+    "flash": flash_crowd_arrivals,
 }
+
+
+#: Power-law exponent of the user-popularity draw: ``user = floor(U *
+#: uniform**USER_SKEW)`` concentrates traffic on low-numbered users the
+#: way a real service's hot accounts dominate its request log.
+USER_SKEW = 3.0
+
+#: A user's personal seed pool is this many times ``seeds_per_request``
+#: wide — repeat queries from one user overlap heavily but are not
+#: byte-identical, which is what match-affinity routing exploits.
+USER_WINDOW_FACTOR = 4
 
 
 def build_schedule(
@@ -109,12 +191,23 @@ def build_schedule(
     slo_s: float,
     seed: int = 0,
     replay_times=None,
+    num_users: int = 0,
 ) -> list:
     """Materialize the full deterministic request schedule.
 
     ``seed_pool`` is the node-ID population queries draw from (typically
     the dataset's held-out split). ``replay_times`` short-circuits the
     generator when ``process == "replay"``.
+
+    ``num_users > 0`` switches on the population model: each request is
+    issued by one of ``num_users`` simulated users (drawn from a skewed
+    popularity distribution, so a planet-scale population of millions
+    still concentrates traffic on its hot users) and draws its seeds
+    from that user's personal window of the pool instead of uniformly.
+    Repeat traffic from one user therefore overlaps — the inter-request
+    locality that Match-style caching and affinity routing convert into
+    saved feature traffic. ``num_users == 0`` keeps the historical
+    uniform draw, bit-identical to earlier schedules.
     """
     rngs = RngFactory(seed)
     if process == "replay":
@@ -131,15 +224,27 @@ def build_schedule(
             ) from None
         times = generator(rate, num_requests, rng=rngs.child("arrivals"))
     seed_rng = rngs.child("request-seeds")
+    size = min(seeds_per_request, len(seed_pool))
+    window = min(len(seed_pool), max(size, USER_WINDOW_FACTOR * size))
     requests = []
     for i, t in enumerate(times):
-        size = min(seeds_per_request, len(seed_pool))
-        seeds = seed_rng.choice(seed_pool, size=size, replace=False)
+        user = -1
+        if num_users > 0:
+            user = int(num_users * seed_rng.random() ** USER_SKEW)
+            user = min(user, num_users - 1)
+            # The user's window tiles the pool; distinct users with
+            # distinct windows share nothing, hot users repeat theirs.
+            start = (user * window) % max(1, len(seed_pool) - window + 1)
+            pool = seed_pool[start:start + window]
+        else:
+            pool = seed_pool
+        seeds = seed_rng.choice(pool, size=size, replace=False)
         requests.append(InferenceRequest(
             req_id=i,
             arrival=float(t),
             seeds=np.sort(seeds.astype(np.int64)),
             deadline=float(t) + slo_s if slo_s > 0 else float("inf"),
+            user_id=user,
         ))
     return requests
 
@@ -159,6 +264,19 @@ class AdmissionStats:
     shed: int = 0
     dropped: int = 0
     degraded_shed: int = 0
+
+    @property
+    def refused(self) -> int:
+        """Requests that never reached service (shed + dropped)."""
+        return self.shed + self.dropped
+
+    def merge(self, other: "AdmissionStats") -> "AdmissionStats":
+        """Fold another queue's counters in (fleet-level aggregation)."""
+        self.admitted += other.admitted
+        self.shed += other.shed
+        self.dropped += other.dropped
+        self.degraded_shed += other.degraded_shed
+        return self
 
 
 class RequestQueue:
@@ -208,15 +326,38 @@ class RequestQueue:
         self._recent_drops = [t for t in self._recent_drops if t >= cutoff]
         return len(self._recent_drops) >= self.degrade_after_drops
 
-    def effective_capacity(self, now: float) -> int:
-        """Current admission cap (shrunk while degraded)."""
-        if self.degraded(now):
+    def _capacity_when(self, degraded: bool) -> int:
+        if degraded:
             return max(1, int(self.capacity * self.degrade_capacity_factor))
         return self.capacity
 
+    def effective_capacity(self, now: float) -> int:
+        """Current admission cap (shrunk while degraded)."""
+        return self._capacity_when(self.degraded(now))
+
     def offer(self, request: InferenceRequest, now: float) -> bool:
-        """Admit or shed ``request`` at time ``now``."""
-        cap = self.effective_capacity(now)
+        """Admit or refuse ``request`` at time ``now``.
+
+        Refusals are classified by *cause*, and the causes are disjoint:
+        while degraded, a request whose deadline has already passed is a
+        **deadline drop at the door** (``dropped``) — never a shed.
+        Before this rule, the same guaranteed-late request was charged to
+        ``degraded_shed`` when it arrived at the reduced-capacity
+        boundary but to ``dropped`` when it squeaked in below the cap
+        and was taken a moment later, so the two counters double-counted
+        the one deadline casualty class right at the boundary the
+        degradation window watches.
+        """
+        degraded = self.degraded(now)
+        if degraded and now > request.deadline:
+            request.outcome = "dropped"
+            request.completion = now
+            self.stats.dropped += 1
+            # A door-drop is the same casualty class as a take()-drop:
+            # it keeps the degradation window armed.
+            self._recent_drops.append(now)
+            return False
+        cap = self._capacity_when(degraded)
         if self._in_queue >= cap:
             request.outcome = "shed"
             request.completion = now

@@ -28,7 +28,7 @@ from repro.faults import get_fault_plan
 from repro.obs import get_registry
 from repro.obs.trace import Tracer
 from repro.serve.batcher import MicroBatcher, select_next_batch
-from repro.serve.profiles import ServingProfile
+from repro.serve.profiles import ServiceTimes, ServingProfile
 from repro.serve.request import RequestQueue, build_schedule
 from repro.sim.events import TIMEOUT, EventLoop
 
@@ -66,6 +66,9 @@ class ServeConfig:
     degrade_after_drops: int = 0
     degrade_window_s: float = 0.05
     degrade_capacity_factor: float = 0.5
+    #: Simulated user-population size for locality-skewed seed draws
+    #: (0 keeps the legacy uniform draw — bit-identical schedules).
+    num_users: int = 0
 
 
 @dataclass
@@ -213,6 +216,375 @@ class ServeReport:
         )
 
 
+def schedule_requests(profile: ServingProfile, cfg: ServeConfig) -> list:
+    """The deterministic request schedule one serving run replays."""
+    dataset = profile.dataset
+    pool = dataset.test_ids if len(dataset.test_ids) else dataset.train_ids
+    return build_schedule(
+        cfg.arrival, cfg.rate, cfg.num_requests,
+        seed_pool=pool, seeds_per_request=cfg.seeds_per_request,
+        slo_s=cfg.slo_s, seed=cfg.seed, replay_times=cfg.replay_times,
+        num_users=cfg.num_users,
+    )
+
+
+class ReplicaEngine:
+    """The batching + GPU service processes of one serving replica.
+
+    Extracted from the original single-server simulation so a fleet
+    (:class:`repro.serve.fleet.FleetSim`) can run N of these on one
+    shared event loop. One engine owns exactly the replica-local state
+    the single server always had — admission queue, micro-batcher,
+    dispatch backlog, phase accounting, timeline — plus the hooks a
+    fleet needs: :meth:`offer` (a router's entry point), :meth:`crash`
+    (drain every queued/in-flight request for re-routing) and
+    :meth:`spawn`. A fleet of one replica is therefore bit-identical to
+    the pre-fleet :class:`ServerSim` — same queues, same process order,
+    same spans — which the fleet conformance suite pins.
+    """
+
+    def __init__(self, loop: EventLoop, profile: ServingProfile,
+                 cfg: ServeConfig, replica_id: int = 0,
+                 cache_tier=None, fault_plan=None) -> None:
+        self.loop = loop
+        self.profile = profile
+        self.cfg = cfg
+        self.replica_id = int(replica_id)
+        #: GPU-lane name; replica 0 keeps the historical ``gpu0``.
+        self.lane = f"gpu{self.replica_id}"
+        self.cache_tier = cache_tier
+        self.fault_plan = (fault_plan if fault_plan is not None
+                           else get_fault_plan())
+        self.admitted = loop.queue(f"admitted{self.replica_id}")
+        self.dispatch = loop.queue(f"dispatch{self.replica_id}")
+        self.admission = RequestQueue(
+            cfg.queue_capacity,
+            degrade_after_drops=cfg.degrade_after_drops,
+            degrade_window_s=cfg.degrade_window_s,
+            degrade_capacity_factor=cfg.degrade_capacity_factor,
+        )
+        self.batcher = MicroBatcher(cfg.max_batch, cfg.batch_window_s)
+        self.timeline: list = []
+        self.batches: list = []
+        self.backlog: list = []
+        self.phase_busy = {"sample": 0.0, "memory_io": 0.0, "compute": 0.0}
+        self.transfer_total = None
+        #: Requests currently on the GPU (re-routed if we crash mid-pass).
+        self.inflight: list = []
+        #: Every request that reached a terminal outcome at this replica.
+        self.touched: list = []
+        self.alive = True
+        #: Draining replicas finish their backlog but accept no routing.
+        self.draining = False
+        self.started_at = loop.now
+        self.stopped_at: float | None = None
+        self.crashed_at: float | None = None
+        self.last_exit = 0.0
+        #: Optional fleet callback ``(request, now)`` on terminal exit.
+        self.on_exit = None
+        self.tier_hits = 0
+        self.tier_stale = 0
+        self.tier_lookups = 0
+
+        registry = get_registry()
+        self._obs_outcome = registry.counter(
+            "repro_serve_requests_total",
+            "Inference requests by final outcome",
+        )
+        self._obs_latency = registry.histogram(
+            "repro_serve_latency_seconds",
+            "End-to-end request latency (arrival to completion)",
+            buckets=LATENCY_BUCKETS,
+        ).labels(framework=profile.name)
+        self._obs_batch = registry.histogram(
+            "repro_serve_batch_size",
+            "Requests coalesced per micro-batch",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        ).labels(framework=profile.name)
+        self._obs_busy = registry.counter(
+            "repro_serve_busy_seconds_total",
+            "Modeled GPU seconds per serving phase",
+        )
+        # Distinct exit counters: shed (admission refused on arrival,
+        # including degraded-mode sheds) vs deadline-dropped (admitted
+        # but stale at service start) must never fold together.
+        self._obs_shed = registry.counter(
+            "repro_serve_shed_requests_total",
+            "Requests refused by admission control (queue full or "
+            "degraded mode)",
+        ).labels(framework=profile.name)
+        self._obs_deadline_dropped = registry.counter(
+            "repro_serve_deadline_dropped_total",
+            "Admitted requests dropped because their deadline passed "
+            "before service start",
+        ).labels(framework=profile.name)
+
+    # -- fleet-facing state --------------------------------------------------
+    @property
+    def load(self) -> int:
+        """Requests admitted but not yet in service (the JSQ signal)."""
+        return self.admission.depth
+
+    @property
+    def resident_nodes(self) -> np.ndarray:
+        """Feature rows resident on this replica's device (Match state)."""
+        return self.profile.resident_nodes
+
+    @property
+    def accepting(self) -> bool:
+        """Whether a router may send new requests here."""
+        return self.alive and not self.draining
+
+    @property
+    def idle(self) -> bool:
+        """No admitted, batching, backlogged or in-flight work."""
+        return (self.load == 0 and not self.inflight
+                and not self.batcher.has_open_batch and not self.backlog
+                and len(self.dispatch) == 0)
+
+    def spawn(self) -> None:
+        """Register the replica's batching + GPU processes on the loop."""
+        self.loop.spawn(self._batching())
+        self.loop.spawn(self._gpu())
+
+    # -- request entry and exit ----------------------------------------------
+    def offer(self, request, now: float) -> bool:
+        """Route one request into this replica's admission queue."""
+        if self.admission.offer(request, now):
+            self.admitted.put(request)
+            return True
+        outcome = request.outcome  # "shed", or a degraded-mode door-drop
+        self._queue_span(request, now, outcome)
+        self._obs_outcome.labels(framework=self.profile.name,
+                                 outcome=outcome).inc()
+        if outcome == "dropped":
+            self._obs_deadline_dropped.inc()
+        else:
+            self._obs_shed.inc()
+        self._exit(request, now)
+        return False
+
+    def _exit(self, request, now: float) -> None:
+        self.last_exit = max(self.last_exit, now)
+        self.touched.append(request)
+        if self.on_exit is not None:
+            self.on_exit(request, now)
+
+    def _queue_span(self, request, end: float, outcome: str) -> None:
+        self.timeline.append({
+            "lane": "requests", "name": f"{outcome}[{request.req_id}]",
+            "cat": "queue", "start": request.arrival,
+            "dur": max(0.0, end - request.arrival),
+            "request": request.req_id,
+        })
+
+    # -- crash / drain -------------------------------------------------------
+    def crash(self, now: float) -> list:
+        """Kill the replica; return every request it was holding.
+
+        Queued, batching, backlogged and in-flight requests are all
+        recovered (their outcome reset to ``pending``) so the fleet can
+        re-route instead of losing them. The replica's processes observe
+        ``alive == False`` at their next resume and stop.
+        """
+        self.alive = False
+        self.draining = True
+        self.crashed_at = now
+        self.stopped_at = now
+        stranded: list = []
+        stranded.extend(self.admitted.drain())
+        stranded.extend(self.batcher.drain_open())
+        for batch in self.backlog:
+            stranded.extend(batch.requests)
+        self.backlog = []
+        while True:
+            extra = self.dispatch.get_nowait()
+            if extra is TIMEOUT:
+                break
+            stranded.extend(extra.requests)
+        stranded.extend(self.inflight)
+        self.inflight = []
+        for request in stranded:
+            request.outcome = "pending"
+            request.reroutes += 1
+        # Spans of the abandoned in-flight batch were written at dispatch
+        # time and extend past the crash; cut them at the moment of death
+        # (and refund the unserved GPU seconds) so the replica's timeline
+        # still reconciles with its lifetime.
+        kept = []
+        for span in self.timeline:
+            end = span["start"] + span["dur"]
+            if end > now + 1e-12:
+                new_dur = max(0.0, now - span["start"])
+                if span["cat"] in self.phase_busy:
+                    self.phase_busy[span["cat"]] -= span["dur"] - new_dur
+                if new_dur <= 0.0:
+                    continue
+                span = dict(span, dur=new_dur)
+            kept.append(span)
+        self.timeline = kept
+        self.timeline.append({
+            "lane": self.lane, "name": "replica_crash",
+            "cat": "fault_crash", "start": now, "dur": 0.0,
+        })
+        return stranded
+
+    # -- report --------------------------------------------------------------
+    def report(self, requests, makespan: float) -> ServeReport:
+        """This replica's serving report over ``requests``."""
+        return ServeReport(
+            framework=self.profile.name,
+            dataset=self.profile.dataset.name,
+            config=self.cfg,
+            requests=requests,
+            batches=self.batches,
+            makespan=makespan,
+            phase_busy=self.phase_busy,
+            transfer=self.transfer_total,
+            timeline=self.timeline,
+            admission=self.admission.stats,
+        )
+
+    # -- the serving processes -----------------------------------------------
+    def _batching(self):
+        loop = self.loop
+        while True:
+            first = yield self.admitted.get()
+            if not self.alive:
+                return
+            full = self.batcher.open(first, loop.now)
+            while not full:
+                remaining = self.batcher.close_deadline - loop.now
+                if remaining <= 0:
+                    break
+                item = yield self.admitted.get(timeout=remaining)
+                if not self.alive:
+                    return
+                if item is TIMEOUT:
+                    break
+                full = self.batcher.add(item, loop.now)
+            self.dispatch.put(self.batcher.close(
+                loop.now, trigger="size" if full else "window"))
+
+    def _through_cache_tier(self, times, subgraph):
+        """Skip the host fetch for rows the shared tier holds fresh."""
+        if self.cache_tier is None:
+            return times
+        nodes = subgraph.unique_input_nodes()
+        hits, stale, missed = self.cache_tier.lookup(nodes, self.loop.now)
+        self.tier_lookups += len(nodes)
+        self.tier_hits += len(hits)
+        self.tier_stale += len(stale)
+        self.cache_tier.insert(np.concatenate([stale, missed]),
+                               self.loop.now)
+        if len(nodes) == 0 or len(hits) == 0:
+            return times
+        saved = (times.memory_io * (len(hits) / len(nodes))
+                 * self.cache_tier.config.io_savings)
+        return ServiceTimes(sample=times.sample,
+                            memory_io=times.memory_io - saved,
+                            compute=times.compute)
+
+    def _gpu(self):
+        loop = self.loop
+        profile = self.profile
+        while True:
+            if not self.backlog:
+                batch = yield self.dispatch.get()
+                if not self.alive:
+                    return
+                self.backlog.append(batch)
+            while True:  # drain batches that closed while busy
+                extra = self.dispatch.get_nowait()
+                if extra is TIMEOUT:
+                    break
+                self.backlog.append(extra)
+            index = 0
+            if profile.reorder_backlog and len(self.backlog) > 1:
+                index = select_next_batch(self.backlog,
+                                          profile.resident_nodes)
+            batch = self.backlog.pop(index)
+            live = []
+            for request in batch.requests:
+                if self.admission.take(request, loop.now):
+                    live.append(request)
+                else:
+                    self._queue_span(request, loop.now, "dropped")
+                    self._obs_outcome.labels(framework=profile.name,
+                                             outcome="dropped").inc()
+                    self._obs_deadline_dropped.inc()
+                    self._exit(request, loop.now)
+            if not live:
+                continue
+            seeds = np.unique(np.concatenate(
+                [r.seeds for r in live]))
+            times, subgraph, transfer = profile.service(seeds)
+            if self.transfer_total is None:
+                self.transfer_total = type(transfer)()
+            self.transfer_total.merge(transfer)
+            times = self._through_cache_tier(times, subgraph)
+            self.inflight = live
+            start = loop.now
+            cursor = start
+            stall = 0.0
+            if self.fault_plan.enabled:
+                # An injected serving stall (a wedged GPU, a blown
+                # request deadline upstream) delays this batch's
+                # whole service; the admission queue's degradation
+                # logic is what keeps the backlog from melting down.
+                # Replica 0 keeps the historical per-batch key so
+                # single-server runs are unchanged; other replicas
+                # decorrelate with a large odd stride.
+                stall = self.fault_plan.stall(
+                    "serve_stall",
+                    key=batch.batch_id + self.replica_id * 1_000_003)
+                if stall > 0:
+                    self.timeline.append({
+                        "lane": self.lane,
+                        "name": f"fault_stall[{batch.batch_id}]",
+                        "cat": "fault_stall", "start": cursor,
+                        "dur": stall, "batch": batch.batch_id,
+                    })
+                    cursor += stall
+                    self.phase_busy["fault_stall"] = (
+                        self.phase_busy.get("fault_stall", 0.0) + stall)
+                    self._obs_busy.labels(framework=profile.name,
+                                          phase="fault_stall").inc(stall)
+            for phase, duration in (("sample", times.sample),
+                                    ("memory_io", times.memory_io),
+                                    ("compute", times.compute)):
+                if duration > 0:
+                    self.timeline.append({
+                        "lane": self.lane,
+                        "name": f"{phase}[{batch.batch_id}]",
+                        "cat": phase, "start": cursor,
+                        "dur": duration, "batch": batch.batch_id,
+                    })
+                    cursor += duration
+                self.phase_busy[phase] += duration
+                self._obs_busy.labels(framework=profile.name,
+                                      phase=phase).inc(duration)
+            yield times.total + stall
+            if not self.alive:
+                # Crashed mid-pass: the crash handler already re-routed
+                # self.inflight; this service never completed.
+                return
+            batch.service_start = start
+            batch.service_end = loop.now
+            batch.requests = live
+            self.batches.append(batch)
+            self.inflight = []
+            self._obs_batch.observe(len(live))
+            for request in live:
+                request.completion = loop.now
+                request.outcome = "completed"
+                self._queue_span(request, start, "wait")
+                self._obs_outcome.labels(framework=profile.name,
+                                         outcome="completed").inc()
+                self._obs_latency.observe(request.latency)
+                self._exit(request, loop.now)
+
+
 class ServerSim:
     """One framework's serving simulation over one request schedule."""
 
@@ -222,203 +594,23 @@ class ServerSim:
         self.serve_config = serve_config or ServeConfig()
 
     def _schedule(self) -> list:
-        dataset = self.profile.dataset
-        cfg = self.serve_config
-        pool = dataset.test_ids if len(dataset.test_ids) else dataset.train_ids
-        return build_schedule(
-            cfg.arrival, cfg.rate, cfg.num_requests,
-            seed_pool=pool, seeds_per_request=cfg.seeds_per_request,
-            slo_s=cfg.slo_s, seed=cfg.seed, replay_times=cfg.replay_times,
-        )
+        return schedule_requests(self.profile, self.serve_config)
 
     def run(self) -> ServeReport:
-        profile = self.profile
         cfg = self.serve_config
         requests = self._schedule()
         loop = EventLoop()
-        admitted = loop.queue("admitted")
-        dispatch = loop.queue("dispatch")
-        admission = RequestQueue(
-            cfg.queue_capacity,
-            degrade_after_drops=cfg.degrade_after_drops,
-            degrade_window_s=cfg.degrade_window_s,
-            degrade_capacity_factor=cfg.degrade_capacity_factor,
-        )
-        batcher = MicroBatcher(cfg.max_batch, cfg.batch_window_s)
-        fault_plan = get_fault_plan()
-
-        timeline: list = []
-        batches: list = []
-        backlog: list = []
-        phase_busy = {"sample": 0.0, "memory_io": 0.0, "compute": 0.0}
-        transfer_total = None
-
-        registry = get_registry()
-        obs_outcome = registry.counter(
-            "repro_serve_requests_total",
-            "Inference requests by final outcome",
-        )
-        obs_latency = registry.histogram(
-            "repro_serve_latency_seconds",
-            "End-to-end request latency (arrival to completion)",
-            buckets=LATENCY_BUCKETS,
-        ).labels(framework=profile.name)
-        obs_batch = registry.histogram(
-            "repro_serve_batch_size",
-            "Requests coalesced per micro-batch",
-            buckets=(1, 2, 4, 8, 16, 32, 64),
-        ).labels(framework=profile.name)
-        obs_busy = registry.counter(
-            "repro_serve_busy_seconds_total",
-            "Modeled GPU seconds per serving phase",
-        )
-        # Distinct exit counters: shed (admission refused on arrival,
-        # including degraded-mode sheds) vs deadline-dropped (admitted
-        # but stale at service start) must never fold together.
-        obs_shed = registry.counter(
-            "repro_serve_shed_requests_total",
-            "Requests refused by admission control (queue full or "
-            "degraded mode)",
-        ).labels(framework=profile.name)
-        obs_deadline_dropped = registry.counter(
-            "repro_serve_deadline_dropped_total",
-            "Admitted requests dropped because their deadline passed "
-            "before service start",
-        ).labels(framework=profile.name)
-
-        def queue_span(request, end, outcome):
-            timeline.append({
-                "lane": "requests", "name": f"{outcome}[{request.req_id}]",
-                "cat": "queue", "start": request.arrival,
-                "dur": max(0.0, end - request.arrival),
-                "request": request.req_id,
-            })
+        engine = ReplicaEngine(loop, self.profile, cfg)
 
         def arrivals():
             for request in requests:
                 yield max(0.0, request.arrival - loop.now)
-                if admission.offer(request, loop.now):
-                    admitted.put(request)
-                else:
-                    queue_span(request, loop.now, "shed")
-                    obs_outcome.labels(framework=profile.name,
-                                       outcome="shed").inc()
-                    obs_shed.inc()
-
-        def batching():
-            while True:
-                first = yield admitted.get()
-                full = batcher.open(first, loop.now)
-                while not full:
-                    remaining = batcher.close_deadline - loop.now
-                    if remaining <= 0:
-                        break
-                    item = yield admitted.get(timeout=remaining)
-                    if item is TIMEOUT:
-                        break
-                    full = batcher.add(item, loop.now)
-                dispatch.put(batcher.close(
-                    loop.now, trigger="size" if full else "window"))
-
-        def gpu():
-            nonlocal transfer_total
-            while True:
-                if not backlog:
-                    backlog.append((yield dispatch.get()))
-                while True:  # drain batches that closed while busy
-                    extra = dispatch.get_nowait()
-                    if extra is TIMEOUT:
-                        break
-                    backlog.append(extra)
-                index = 0
-                if profile.reorder_backlog and len(backlog) > 1:
-                    index = select_next_batch(backlog,
-                                              profile.resident_nodes)
-                batch = backlog.pop(index)
-                live = []
-                for request in batch.requests:
-                    if admission.take(request, loop.now):
-                        live.append(request)
-                    else:
-                        queue_span(request, loop.now, "dropped")
-                        obs_outcome.labels(framework=profile.name,
-                                           outcome="dropped").inc()
-                        obs_deadline_dropped.inc()
-                if not live:
-                    continue
-                seeds = np.unique(np.concatenate(
-                    [r.seeds for r in live]))
-                times, _, transfer = profile.service(seeds)
-                if transfer_total is None:
-                    transfer_total = type(transfer)()
-                transfer_total.merge(transfer)
-                start = loop.now
-                cursor = start
-                stall = 0.0
-                if fault_plan.enabled:
-                    # An injected serving stall (a wedged GPU, a blown
-                    # request deadline upstream) delays this batch's
-                    # whole service; the admission queue's degradation
-                    # logic is what keeps the backlog from melting down.
-                    stall = fault_plan.stall("serve_stall",
-                                             key=batch.batch_id)
-                    if stall > 0:
-                        timeline.append({
-                            "lane": "gpu0",
-                            "name": f"fault_stall[{batch.batch_id}]",
-                            "cat": "fault_stall", "start": cursor,
-                            "dur": stall, "batch": batch.batch_id,
-                        })
-                        cursor += stall
-                        phase_busy["fault_stall"] = (
-                            phase_busy.get("fault_stall", 0.0) + stall)
-                        obs_busy.labels(framework=profile.name,
-                                        phase="fault_stall").inc(stall)
-                for phase, duration in (("sample", times.sample),
-                                        ("memory_io", times.memory_io),
-                                        ("compute", times.compute)):
-                    if duration > 0:
-                        timeline.append({
-                            "lane": "gpu0",
-                            "name": f"{phase}[{batch.batch_id}]",
-                            "cat": phase, "start": cursor,
-                            "dur": duration, "batch": batch.batch_id,
-                        })
-                        cursor += duration
-                    phase_busy[phase] += duration
-                    obs_busy.labels(framework=profile.name,
-                                    phase=phase).inc(duration)
-                yield times.total + stall
-                batch.service_start = start
-                batch.service_end = loop.now
-                batch.requests = live
-                batches.append(batch)
-                obs_batch.observe(len(live))
-                for request in live:
-                    request.completion = loop.now
-                    request.outcome = "completed"
-                    queue_span(request, start, "wait")
-                    obs_outcome.labels(framework=profile.name,
-                                       outcome="completed").inc()
-                    obs_latency.observe(request.latency)
+                engine.offer(request, loop.now)
 
         loop.spawn(arrivals())
-        loop.spawn(batching())
-        loop.spawn(gpu())
+        engine.spawn()
         makespan = loop.run()
-
-        return ServeReport(
-            framework=profile.name,
-            dataset=profile.dataset.name,
-            config=cfg,
-            requests=requests,
-            batches=batches,
-            makespan=makespan,
-            phase_busy=phase_busy,
-            transfer=transfer_total,
-            timeline=timeline,
-            admission=admission.stats,
-        )
+        return engine.report(requests, makespan)
 
 
 def simulate(

@@ -97,6 +97,18 @@ class Queue:
             return self._items.popleft()
         return TIMEOUT
 
+    def drain(self) -> list:
+        """Remove and return every buffered item (oldest first).
+
+        Crash recovery: when a consumer process dies, whatever it never
+        got to must be recovered by the supervisor, not stranded in the
+        queue. Waiters are untouched — a dead consumer's pending ``get``
+        simply never resumes.
+        """
+        items = list(self._items)
+        self._items.clear()
+        return items
+
 
 class _Get:
     """Yielded by processes to request the next queue item."""

@@ -1,0 +1,117 @@
+"""Fleet conformance: a one-replica fleet IS the single server.
+
+For every registered framework's serving profile, a fleet of one
+replica behind round-robin routing with the autoscaler and cache tier
+off must reproduce the plain :class:`ServerSim` run **bit-identically**:
+same per-request outcomes and latencies, same report aggregates, same
+modeled timeline span-for-span, and both timelines reconciling with
+their makespans to ``1e-6``. This pins the ``ReplicaEngine`` extraction:
+the fleet abstraction may add capability, never drift.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from helpers import make_spec  # noqa: E402
+from repro.config import RunConfig  # noqa: E402
+from repro.frameworks.registry import available_frameworks  # noqa: E402
+from repro.graph.datasets import Dataset  # noqa: E402
+from repro.serve import (  # noqa: E402
+    FleetSpec,
+    ServeConfig,
+    simulate,
+    simulate_fleet,
+)
+
+RECONCILE_TOL = 1e-6
+
+FRAMEWORKS = list(available_frameworks())
+
+
+@pytest.fixture(scope="module")
+def serve_dataset() -> Dataset:
+    spec = make_spec(
+        name="fleet-conformance",
+        num_nodes=800,
+        avg_degree=8.0,
+        feature_dim=16,
+        num_classes=4,
+        train_fraction=0.3,
+    )
+    return Dataset(spec, seed=7)
+
+
+def _serve_config() -> ServeConfig:
+    # High enough rate that batching, backlog reorder, shed and
+    # deadline-drop paths all exercise.
+    return ServeConfig(rate=20_000.0, num_requests=120,
+                       seeds_per_request=6, max_batch=8,
+                       batch_window_s=0.002, queue_capacity=32,
+                       slo_s=0.05, seed=13)
+
+
+def _run_config() -> RunConfig:
+    return RunConfig(num_gpus=1, fanouts=(3, 3), seed=13)
+
+
+@pytest.mark.parametrize("framework", FRAMEWORKS)
+def test_one_replica_fleet_is_bit_identical(framework, serve_dataset):
+    single = simulate(framework, serve_dataset,
+                      run_config=_run_config(),
+                      serve_config=_serve_config())
+    fleet = simulate_fleet(framework, serve_dataset,
+                           run_config=_run_config(),
+                           serve_config=_serve_config(),
+                           fleet=FleetSpec(num_replicas=1,
+                                           router="round-robin"))
+    assert len(fleet.replicas) == 1
+    replica = fleet.replicas[0]
+
+    # Same clock: the fleet makespan and the replica's lifetime are the
+    # single server's makespan exactly.
+    assert fleet.makespan == single.makespan
+    assert replica.makespan == single.makespan
+
+    # Per-request journeys: identical outcomes and latencies.
+    single_by_id = {r.req_id: r for r in single.requests}
+    fleet_by_id = {r.req_id: r for r in fleet.requests}
+    assert single_by_id.keys() == fleet_by_id.keys()
+    for req_id, ours in single_by_id.items():
+        theirs = fleet_by_id[req_id]
+        assert ours.outcome == theirs.outcome, req_id
+        assert ours.arrival == theirs.arrival, req_id
+        assert ours.completion == theirs.completion, req_id
+
+    # Report aggregates field-for-field.
+    assert replica.num_completed == single.num_completed
+    assert replica.num_shed == single.num_shed
+    assert replica.num_dropped == single.num_dropped
+    assert replica.phase_busy == single.phase_busy
+    assert replica.mean_batch_size == single.mean_batch_size
+    np.testing.assert_array_equal(
+        np.sort(replica.latencies), np.sort(single.latencies))
+    if single.transfer is not None:
+        assert replica.transfer.num_wanted == single.transfer.num_wanted
+        assert replica.transfer.num_reused == single.transfer.num_reused
+
+    # The modeled timeline, span for span.
+    assert replica.timeline == single.timeline
+
+    # Both reconcile to tolerance.
+    assert single.reconciles(RECONCILE_TOL)
+    assert replica.reconciles(RECONCILE_TOL)
+    assert fleet.reconciles(RECONCILE_TOL)
+
+    # Fleet bookkeeping is quiet: nothing rerouted, no outage, no
+    # scaling, no crashes.
+    assert fleet.rerouted == 0
+    assert fleet.outage_shed == 0
+    assert fleet.scale_events == []
+    assert fleet.crash_events == []

@@ -1,0 +1,175 @@
+"""Chaos: replica loss mid-flash-crowd.
+
+A fleet absorbing a flash crowd loses replicas through the
+``replica_crash`` fault site. The contract under fire:
+
+* nothing vanishes — every scheduled request reaches a terminal
+  outcome, and ``completed + shed + dropped == scheduled`` exactly;
+* a crashed replica's queued and in-flight requests are recovered and
+  re-offered (``rerouted`` equals the sum of per-crash recovery
+  counts), never silently lost;
+* the availability ledger is exact: it falls only by what genuinely
+  could not be absorbed;
+* the whole storm is deterministic in ``REPRO_CHAOS_SEED`` — two runs
+  produce identical crash schedules, outcomes and makespans.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from helpers import make_spec
+from repro.config import RunConfig
+from repro.faults import FaultPlan, FaultSpec, fault_scope
+from repro.graph.datasets import Dataset
+from repro.serve import AutoscalerConfig, FleetSpec, ServeConfig, simulate_fleet
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "99"))
+
+
+@pytest.fixture(scope="module")
+def chaos_dataset() -> Dataset:
+    spec = make_spec(name="fleet-chaos", num_nodes=800, avg_degree=8.0,
+                     feature_dim=16, num_classes=4, train_fraction=0.3)
+    return Dataset(spec, seed=5)
+
+
+def _flash_config() -> ServeConfig:
+    return ServeConfig(rate=4_000.0, num_requests=400,
+                       seeds_per_request=8, max_batch=4,
+                       batch_window_s=0.002, queue_capacity=256,
+                       slo_s=5.0, seed=CHAOS_SEED, num_users=16,
+                       arrival="flash")
+
+
+def _run_config() -> RunConfig:
+    return RunConfig(num_gpus=1, fanouts=(3, 3), seed=5)
+
+
+def _storm(chaos_dataset, probability: float,
+           autoscaler: AutoscalerConfig | None = None):
+    plan = FaultPlan(seed=CHAOS_SEED, sites={
+        "replica_crash": FaultSpec(probability=probability,
+                                   max_failures=1),
+    })
+    with fault_scope(plan):
+        return simulate_fleet(
+            "fastgl", chaos_dataset, run_config=_run_config(),
+            serve_config=_flash_config(),
+            fleet=FleetSpec(num_replicas=4, router="jsq",
+                            autoscaler=autoscaler or AutoscalerConfig()))
+
+
+def test_crash_requests_recovered_not_lost(chaos_dataset):
+    report = _storm(chaos_dataset, probability=0.5)
+    scheduled = len(report.requests)
+
+    assert report.crash_events, "pinned seed must kill at least one replica"
+    # Survivors remain, so nothing hits the total-outage path.
+    assert len(report.crash_events) < 4
+    assert report.outage_shed == 0
+
+    # Conservation: every request terminal, counters partition exactly.
+    assert report.num_terminal == scheduled
+    assert (report.num_completed + report.num_shed
+            + report.num_dropped) == scheduled
+    for request in report.requests:
+        assert request.outcome in ("completed", "shed", "dropped")
+        assert request.completion is not None
+
+    # Every stranded request was re-offered, and the reroute ledger
+    # matches the per-crash recovery counts exactly.
+    assert report.rerouted == sum(n for _, _, n in report.crash_events)
+    assert sum(r.reroutes for r in report.requests) == report.rerouted
+
+    # Availability is the completed fraction, to the last request.
+    assert report.availability == report.num_completed / scheduled
+    assert report.reconciles(1e-6)
+
+
+def test_total_outage_sheds_exactly_and_recovers(chaos_dataset):
+    scaler = AutoscalerConfig(enabled=True, max_replicas=6,
+                              add_occupancy=0.2, drain_occupancy=0.02,
+                              interval_s=0.005, cooldown_s=0.02)
+    report = _storm(chaos_dataset, probability=1.0, autoscaler=scaler)
+
+    # Probability 1.0 kills every original replica.
+    crashed = {rid for _, rid, _ in report.crash_events}
+    assert crashed >= {0, 1, 2, 3}
+    # The autoscaler restarts capacity (outage reads as occupancy 1.0).
+    assert any(e.action == "add" for e in report.scale_events)
+
+    scheduled = len(report.requests)
+    assert report.num_terminal == scheduled
+    # Outage sheds are counted inside num_shed, never double-booked.
+    assert report.outage_shed <= report.num_shed
+    assert report.availability == report.num_completed / scheduled
+    assert report.reconciles(1e-6)
+
+
+def test_chaos_is_deterministic_under_seed(chaos_dataset):
+    first = _storm(chaos_dataset, probability=0.5)
+    second = _storm(chaos_dataset, probability=0.5)
+
+    assert first.crash_events == second.crash_events
+    assert first.makespan == second.makespan
+    assert first.rerouted == second.rerouted
+    assert first.outage_shed == second.outage_shed
+    by_id = {r.req_id: r for r in second.requests}
+    for ours in first.requests:
+        theirs = by_id[ours.req_id]
+        assert ours.outcome == theirs.outcome
+        assert ours.completion == theirs.completion
+        assert ours.reroutes == theirs.reroutes
+
+
+def test_no_faults_means_no_crash_bookkeeping(chaos_dataset):
+    report = _storm(chaos_dataset, probability=0.0)
+    assert report.crash_events == []
+    assert report.rerouted == 0
+    assert report.outage_shed == 0
+    assert all(r.reroutes == 0 for r in report.requests)
+
+
+# -- degraded-mode admission accounting (regression) -------------------------
+def test_degraded_door_drop_is_not_a_degraded_shed():
+    """At the reduced-capacity boundary, a degraded-mode request whose
+    deadline already passed is ONE deadline drop — not a degraded shed.
+    Before the fix the same casualty class was charged to either counter
+    depending on whether it squeaked under the shrunk cap first."""
+    from repro.serve.request import InferenceRequest, RequestQueue
+
+    queue = RequestQueue(capacity=4, degrade_after_drops=2,
+                         degrade_window_s=1.0,
+                         degrade_capacity_factor=0.5)
+    # Trip degraded mode with two deadline drops at take().
+    for req_id in (0, 1):
+        late = InferenceRequest(req_id=req_id, arrival=0.0, seeds=None,
+                                deadline=0.1)
+        assert queue.offer(late, now=0.2)
+        assert not queue.take(late, now=0.3)
+    assert queue.degraded(0.4)
+    assert queue.effective_capacity(0.4) == 2
+
+    # A past-deadline arrival at the degraded door: exactly one counter
+    # moves, and it is `dropped`.
+    before = (queue.stats.dropped, queue.stats.shed,
+              queue.stats.degraded_shed)
+    doomed = InferenceRequest(req_id=2, arrival=0.35, seeds=None,
+                              deadline=0.30)
+    assert not queue.offer(doomed, now=0.4)
+    assert doomed.outcome == "dropped"
+    assert queue.stats.dropped == before[0] + 1
+    assert queue.stats.shed == before[1]
+    assert queue.stats.degraded_shed == before[2]
+
+    # A live request refused by the shrunk cap IS a degraded shed.
+    filler = [InferenceRequest(req_id=10 + i, arrival=0.4, seeds=None,
+                               deadline=9.0) for i in range(3)]
+    assert queue.offer(filler[0], now=0.4)
+    assert queue.offer(filler[1], now=0.4)
+    assert not queue.offer(filler[2], now=0.4)
+    assert filler[2].outcome == "shed"
+    assert queue.stats.degraded_shed == before[2] + 1
